@@ -1,0 +1,46 @@
+#include "common.hpp"
+
+#include <cstdio>
+
+#include "fsm/benchmarks.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/library.hpp"
+#include "util/check.hpp"
+
+namespace ndet::bench {
+
+Circuit circuit_by_name(const std::string& name) {
+  for (const auto& info : fsm_benchmark_suite())
+    if (info.name == name) return fsm_benchmark_circuit(name);
+  for (const auto& lib : combinational_library_names())
+    if (lib == name) return combinational_library(name);
+  if (name.size() > 6 && name.substr(name.size() - 6) == ".bench")
+    return read_bench_file(name);
+  throw contract_error(
+      "unknown circuit '" + name +
+      "' (expected an FSM benchmark, an embedded circuit, or a .bench path)");
+}
+
+std::vector<std::string> suite_names() {
+  std::vector<std::string> names;
+  for (const auto& info : fsm_benchmark_suite()) names.push_back(info.name);
+  return names;
+}
+
+CircuitAnalysis analyze_circuit(const std::string& name) {
+  std::fprintf(stderr, "[ndetect] analyzing %s ...\n", name.c_str());
+  Circuit circuit = circuit_by_name(name);
+  DetectionDb db = DetectionDb::build(circuit);
+  WorstCaseResult worst = analyze_worst_case(db);
+  return CircuitAnalysis{std::move(circuit), std::move(db), std::move(worst)};
+}
+
+void banner(const std::string& title, const std::string& paper_reference,
+            const std::string& knobs) {
+  std::printf("== %s ==\n", title.c_str());
+  std::printf("paper: %s\n", paper_reference.c_str());
+  if (!knobs.empty()) std::printf("knobs: %s\n", knobs.c_str());
+  std::printf("\n");
+}
+
+}  // namespace ndet::bench

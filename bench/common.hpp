@@ -1,0 +1,35 @@
+// common.hpp -- shared plumbing for the experiment harness.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/detection_db.hpp"
+#include "core/worst_case.hpp"
+#include "netlist/circuit.hpp"
+
+namespace ndet::bench {
+
+/// Resolves a circuit by name: an FSM benchmark (synthesized with binary
+/// encoding), an embedded combinational circuit, or a path to a .bench file.
+Circuit circuit_by_name(const std::string& name);
+
+/// The FSM suite names in the paper's Table 2 order.
+std::vector<std::string> suite_names();
+
+/// Builds the database and worst-case result for one circuit, with progress
+/// output on stderr.
+struct CircuitAnalysis {
+  Circuit circuit;
+  DetectionDb db;
+  WorstCaseResult worst;
+};
+CircuitAnalysis analyze_circuit(const std::string& name);
+
+/// Prints the standard harness banner: what the binary reproduces and which
+/// knobs it accepts.
+void banner(const std::string& title, const std::string& paper_reference,
+            const std::string& knobs);
+
+}  // namespace ndet::bench

@@ -1,0 +1,172 @@
+// perf_kernels.cpp -- google-benchmark timings of every kernel the
+// reproduction relies on: exhaustive simulation, stuck-at and bridging
+// detection sets, the worst-case nmin sweep, Procedure 1 under both
+// definitions, the Definition-2 oracle, and PODEM.
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "atpg/ndetect.hpp"
+#include "atpg/podem.hpp"
+#include "common.hpp"
+#include "core/procedure1.hpp"
+#include "core/worst_case.hpp"
+#include "faults/stuck_at.hpp"
+#include "fsm/benchmarks.hpp"
+#include "netlist/reach.hpp"
+#include "sim/exhaustive.hpp"
+#include "sim/fault_sim.hpp"
+#include "sim/ternary_sim.hpp"
+
+namespace {
+
+using namespace ndet;
+
+const Circuit& bench_circuit() {
+  static const Circuit circuit = fsm_benchmark_circuit("bbara");
+  return circuit;
+}
+
+const DetectionDb& bench_db() {
+  static const DetectionDb db = DetectionDb::build(bench_circuit());
+  return db;
+}
+
+void BM_ExhaustiveSimulation(benchmark::State& state) {
+  const Circuit& c = bench_circuit();
+  for (auto _ : state) {
+    const ExhaustiveSimulator sim(c);
+    benchmark::DoNotOptimize(sim.good_word(static_cast<GateId>(c.gate_count() - 1), 0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(c.vector_space_size()));
+}
+BENCHMARK(BM_ExhaustiveSimulation);
+
+void BM_StuckAtDetectionSets(benchmark::State& state) {
+  const Circuit& c = bench_circuit();
+  const LineModel lines(c);
+  const ExhaustiveSimulator sim(c);
+  const FaultSimulator fsim(sim, lines);
+  const auto faults = collapse_stuck_at_faults(lines);
+  for (auto _ : state) {
+    const auto sets = fsim.detection_sets(faults);
+    benchmark::DoNotOptimize(sets.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(faults.size()));
+}
+BENCHMARK(BM_StuckAtDetectionSets);
+
+void BM_BridgingDetectionSets(benchmark::State& state) {
+  const Circuit& c = bench_circuit();
+  const LineModel lines(c);
+  const ExhaustiveSimulator sim(c);
+  const FaultSimulator fsim(sim, lines);
+  const ReachMatrix reach(c);
+  const auto faults = enumerate_four_way_bridging(c, reach);
+  for (auto _ : state) {
+    std::size_t detectable = 0;
+    for (const auto& fault : faults)
+      if (fsim.detection_set(fault).any()) ++detectable;
+    benchmark::DoNotOptimize(detectable);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(faults.size()));
+}
+BENCHMARK(BM_BridgingDetectionSets);
+
+void BM_WorstCaseNmin(benchmark::State& state) {
+  const DetectionDb& db = bench_db();
+  for (auto _ : state) {
+    const WorstCaseResult worst = analyze_worst_case(db);
+    benchmark::DoNotOptimize(worst.nmin.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(db.untargeted().size()));
+}
+BENCHMARK(BM_WorstCaseNmin);
+
+void BM_Procedure1Definition1(benchmark::State& state) {
+  const DetectionDb& db = bench_db();
+  std::vector<std::size_t> monitored(std::min<std::size_t>(32, db.untargeted().size()));
+  std::iota(monitored.begin(), monitored.end(), std::size_t{0});
+  Procedure1Config config;
+  config.nmax = 10;
+  config.num_sets = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const AverageCaseResult result = run_procedure1(db, monitored, config);
+    benchmark::DoNotOptimize(result.stats.tests_added);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Procedure1Definition1)->Arg(10)->Arg(100);
+
+void BM_Procedure1Definition2(benchmark::State& state) {
+  const DetectionDb& db = bench_db();
+  std::vector<std::size_t> monitored(std::min<std::size_t>(32, db.untargeted().size()));
+  std::iota(monitored.begin(), monitored.end(), std::size_t{0});
+  Procedure1Config config;
+  config.nmax = 10;
+  config.num_sets = static_cast<std::size_t>(state.range(0));
+  config.definition = DetectionDefinition::kDissimilar;
+  for (auto _ : state) {
+    const AverageCaseResult result = run_procedure1(db, monitored, config);
+    benchmark::DoNotOptimize(result.stats.distinct_queries);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Procedure1Definition2)->Arg(10);
+
+void BM_Def2Oracle(benchmark::State& state) {
+  const Circuit& c = bench_circuit();
+  const LineModel lines(c);
+  const auto faults = collapse_stuck_at_faults(lines);
+  Def2Oracle oracle(lines, faults);
+  const std::uint64_t space = c.vector_space_size();
+  std::uint64_t t = 1;
+  for (auto _ : state) {
+    const std::uint64_t t1 = t % space;
+    const std::uint64_t t2 = (t * 2654435761u) % space;
+    benchmark::DoNotOptimize(oracle.distinct(t % faults.size(), t1, t2));
+    ++t;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Def2Oracle);
+
+void BM_PodemPerFault(benchmark::State& state) {
+  const Circuit& c = bench_circuit();
+  const LineModel lines(c);
+  const Podem podem(lines);
+  const auto faults = collapse_stuck_at_faults(lines);
+  Rng rng(1);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const PodemResult result = podem.generate(faults[i % faults.size()], rng);
+    benchmark::DoNotOptimize(result.cube.has_value());
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PodemPerFault);
+
+void BM_NDetectionAtpg(benchmark::State& state) {
+  const Circuit c = fsm_benchmark_circuit("bbtas");
+  const LineModel lines(c);
+  const auto faults = collapse_stuck_at_faults(lines);
+  NDetectConfig config;
+  config.n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const NDetectResult result = generate_ndetection_set(lines, faults, config);
+    benchmark::DoNotOptimize(result.tests.size());
+  }
+}
+BENCHMARK(BM_NDetectionAtpg)->Arg(1)->Arg(5)->Arg(10);
+
+}  // namespace
+
+BENCHMARK_MAIN();

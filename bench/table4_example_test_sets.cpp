@@ -1,0 +1,70 @@
+// table4_example_test_sets.cpp -- reproduces Table 4 of the paper: K = 10
+// randomly constructed n-detection test sets for n = 1 and n = 2 on the
+// Figure-1 example circuit (Procedure 1).
+//
+// The paper's sets depend on its RNG, so the concrete vectors differ; the
+// comparable properties are structural: every set is a valid n-detection
+// set, sets grow with n, and the fault g6 (T = {12}) is hit by only some of
+// the 1-/2-detection sets -- exactly the effect Table 4 illustrates
+// (d(1,g6) = 2, d(2,g6) = 4 in the paper).
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common.hpp"
+#include "core/procedure1.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ndet;
+  const CliArgs args(argc, argv, {"k", "seed", "nmax"});
+  const std::size_t k = args.get_u64("k", 10);
+  const int nmax = static_cast<int>(args.get_u64("nmax", 2));
+  const std::uint64_t seed = args.get_u64("seed", 2005);
+  bench::banner("Table 4: random n-detection test sets for the example circuit",
+                "K=10 sets for n=1,2; d(1,g6)=2 and d(2,g6)=4 with the "
+                "authors' RNG",
+                "--k --nmax --seed");
+
+  const bench::CircuitAnalysis analysis = bench::analyze_circuit("paper_example");
+  const DetectionDb& db = analysis.db;
+
+  // Monitor g6 = (11,0,9,1) with T = {12}; it sits at index 6 after the
+  // detectability filter (validated in the test suite).
+  const std::vector<std::size_t> monitored{6};
+  Procedure1Config config;
+  config.nmax = nmax;
+  config.num_sets = k;
+  config.seed = seed;
+  config.keep_test_sets = true;
+  const AverageCaseResult result = run_procedure1(db, monitored, config);
+
+  std::vector<std::string> headers{"k"};
+  for (int n = 1; n <= nmax; ++n) headers.push_back("n=" + std::to_string(n));
+  TextTable table(headers);
+  for (std::size_t set = 0; set < k; ++set) {
+    std::vector<std::string> cells{std::to_string(set)};
+    for (int n = 1; n <= nmax; ++n) {
+      auto tests = result.test_sets[static_cast<std::size_t>(n - 1)][set];
+      std::sort(tests.begin(), tests.end());
+      std::ostringstream os;
+      for (const auto t : tests) os << t << ' ';
+      cells.push_back(os.str());
+    }
+    table.add_row(std::move(cells));
+  }
+  for (std::size_t col = 1; col < headers.size(); ++col)
+    table.set_align(col, Align::kLeft);
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf("\nfault g6 = %s with T(g6) = {12}:\n",
+              to_string(db.untargeted()[6], db.circuit()).c_str());
+  for (int n = 1; n <= nmax; ++n)
+    std::printf("  d(%d,g6) = %u of K=%zu  ->  p(%d,g6) = %.2f   "
+                "(paper: d(1)=2, d(2)=4 of K=10)\n",
+                n, result.detect_count[static_cast<std::size_t>(n - 1)][0],
+                k, n, result.probability(n, 0));
+  return 0;
+}

@@ -1,0 +1,87 @@
+// ndetection_atpg.cpp -- deterministic n-detection test generation, the
+// scenario the paper's introduction motivates: generate n-detection sets
+// with a stock ATPG (PODEM) for growing n and watch the untargeted
+// (bridging) fault coverage climb -- then compare against the worst-case
+// guarantee, which tells us when climbing further stops helping.
+//
+//   ndetection_atpg [circuit] [--nmax=10] [--seed=1]
+
+#include <cstdio>
+
+#include "atpg/ndetect.hpp"
+#include "core/detection_db.hpp"
+#include "core/worst_case.hpp"
+#include "fsm/benchmarks.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/library.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+ndet::Circuit resolve(const std::string& name) {
+  using namespace ndet;
+  for (const auto& info : fsm_benchmark_suite())
+    if (info.name == name) return fsm_benchmark_circuit(name);
+  for (const auto& lib : combinational_library_names())
+    if (lib == name) return combinational_library(name);
+  return read_bench_file(name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ndet;
+  const CliArgs args(argc, argv, {"nmax", "seed"});
+  const std::string name =
+      args.positional().empty() ? "bbara" : args.positional()[0];
+  const int nmax = static_cast<int>(args.get_u64("nmax", 10));
+  const std::uint64_t seed = args.get_u64("seed", 1);
+
+  const Circuit circuit = resolve(name);
+  const LineModel lines(circuit);
+  const auto faults = collapse_stuck_at_faults(lines);
+  const DetectionDb db = DetectionDb::build(circuit);
+  const WorstCaseResult worst = analyze_worst_case(db);
+
+  std::printf("%s: %zu target faults, %zu bridging faults\n\n", name.c_str(),
+              faults.size(), db.untargeted().size());
+
+  TextTable table({"n", "tests", "compacted away", "short faults",
+                   "bridging coverage %", "guaranteed %"});
+  for (int n = 1; n <= nmax; ++n) {
+    NDetectConfig config;
+    config.n = n;
+    config.seed = seed;
+    const NDetectResult result = generate_ndetection_set(lines, faults, config);
+
+    // Grade the generated set against the bridging faults.
+    std::size_t covered = 0;
+    for (const Bitset& tg : db.untargeted_sets()) {
+      bool hit = false;
+      for (const auto t : result.tests)
+        if (tg.test(t)) {
+          hit = true;
+          break;
+        }
+      if (hit) ++covered;
+    }
+    const double coverage =
+        db.untargeted().empty()
+            ? 0.0
+            : 100.0 * static_cast<double>(covered) /
+                  static_cast<double>(db.untargeted().size());
+    table.add_row({std::to_string(n), std::to_string(result.tests.size()),
+                   std::to_string(result.compaction_removed),
+                   std::to_string(result.short_faults),
+                   format_fixed(coverage, 2),
+                   format_percent(
+                       worst.fraction_at_most(static_cast<std::uint64_t>(n)))});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\n'guaranteed %%' is the worst-case lower bound (Section 2): ANY\n"
+      "n-detection set achieves at least it; the generated sets typically\n"
+      "do much better -- the paper's average-case point.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// worst_case_report.cpp -- the paper's Section-2 analysis as a CLI tool.
+//
+//   worst_case_report [circuit] [--nmax=10] [--detail=5]
+//
+// `circuit` is an FSM benchmark name (e.g. bbara), an embedded combinational
+// circuit (e.g. c17), or a path to a .bench file.  The report covers
+// everything a test engineer would ask of the worst-case analysis: circuit
+// statistics, guaranteed coverage per n, the tail that needs n > nmax, and a
+// drill-down of the hardest faults with their limiting target faults.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/detection_db.hpp"
+#include "core/reports.hpp"
+#include "core/worst_case.hpp"
+#include "faults/stuck_at.hpp"
+#include "fsm/benchmarks.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/library.hpp"
+#include "netlist/stats.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+ndet::Circuit resolve(const std::string& name) {
+  using namespace ndet;
+  for (const auto& info : fsm_benchmark_suite())
+    if (info.name == name) return fsm_benchmark_circuit(name);
+  for (const auto& lib : combinational_library_names())
+    if (lib == name) return combinational_library(name);
+  return read_bench_file(name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ndet;
+  const CliArgs args(argc, argv, {"nmax", "detail"});
+  const std::string name =
+      args.positional().empty() ? "bbara" : args.positional()[0];
+  const auto nmax = args.get_u64("nmax", 10);
+  const auto detail = args.get_u64("detail", 5);
+
+  const Circuit circuit = resolve(name);
+  std::printf("%s\n\n", to_string(compute_stats(circuit)).c_str());
+
+  const DetectionDb db = DetectionDb::build(circuit);
+  std::printf("targets F: %zu collapsed stuck-at faults (%zu detectable)\n",
+              db.targets().size(), db.detectable_target_count());
+  std::printf("untargeted G: %zu detectable four-way bridging faults "
+              "(of %zu enumerated)\n\n",
+              db.untargeted().size(), db.enumerated_untargeted());
+
+  const WorstCaseResult worst = analyze_worst_case(db);
+  std::printf("guaranteed coverage of any n-detection test set:\n");
+  for (std::uint64_t n = 1; n <= nmax; ++n)
+    std::printf("  n = %2llu: %7.2f%%\n", static_cast<unsigned long long>(n),
+                100.0 * worst.fraction_at_most(n));
+
+  const auto tail = worst.indices_at_least(nmax + 1);
+  std::printf("\nfaults not guaranteed by a %llu-detection test set: %zu "
+              "(%.2f%%), max finite nmin = %llu\n",
+              static_cast<unsigned long long>(nmax), tail.size(),
+              worst.nmin.empty()
+                  ? 0.0
+                  : 100.0 * static_cast<double>(tail.size()) /
+                        static_cast<double>(worst.nmin.size()),
+              static_cast<unsigned long long>(worst.max_finite_nmin()));
+
+  // Drill into the hardest faults: which target fault limits them?
+  std::vector<std::size_t> hardest = tail;
+  std::sort(hardest.begin(), hardest.end(),
+            [&](std::size_t a, std::size_t b) {
+              return worst.nmin[a] > worst.nmin[b];
+            });
+  hardest.resize(std::min<std::size_t>(hardest.size(), detail));
+  for (const std::size_t j : hardest) {
+    std::printf("\n  %s  (nmin = %llu, |T(g)| = %zu)\n",
+                to_string(db.untargeted()[j], circuit).c_str(),
+                static_cast<unsigned long long>(worst.nmin[j]),
+                db.untargeted_sets()[j].count());
+    auto entries = overlap_entries(db, j);
+    std::sort(entries.begin(), entries.end(),
+              [](const OverlapEntry& a, const OverlapEntry& b) {
+                return a.nmin_gf < b.nmin_gf;
+              });
+    for (std::size_t e = 0; e < std::min<std::size_t>(3, entries.size()); ++e)
+      std::printf("    limited by %-14s N=%-5zu M=%-4zu nmin(g,f)=%llu\n",
+                  to_string(db.targets()[entries[e].target_index], db.lines())
+                      .c_str(),
+                  entries[e].n_f, entries[e].m_gf,
+                  static_cast<unsigned long long>(entries[e].nmin_gf));
+  }
+  return 0;
+}

@@ -1,0 +1,118 @@
+#include "atpg/ndetect.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "sim/exhaustive.hpp"
+#include "sim/fault_sim.hpp"
+#include "util/check.hpp"
+
+namespace ndet {
+
+namespace {
+
+/// Detection matrix: per fault, the set of detecting tests (bits index the
+/// test list).
+std::vector<Bitset> detection_matrix(const LineModel& lines,
+                                     std::span<const StuckAtFault> faults,
+                                     std::span<const std::uint32_t> tests) {
+  std::vector<std::uint64_t> vectors(tests.begin(), tests.end());
+  const ExhaustiveSimulator sim(lines.circuit(), vectors);
+  const FaultSimulator fault_sim(sim, lines);
+  return fault_sim.detection_sets(faults);
+}
+
+}  // namespace
+
+std::vector<std::size_t> count_detections(
+    const LineModel& lines, std::span<const StuckAtFault> faults,
+    std::span<const std::uint32_t> tests) {
+  if (tests.empty()) return std::vector<std::size_t>(faults.size(), 0);
+  std::vector<std::size_t> counts;
+  counts.reserve(faults.size());
+  for (const Bitset& row : detection_matrix(lines, faults, tests))
+    counts.push_back(row.count());
+  return counts;
+}
+
+NDetectResult generate_ndetection_set(const LineModel& lines,
+                                      std::span<const StuckAtFault> faults,
+                                      const NDetectConfig& config) {
+  require(config.n >= 1, "generate_ndetection_set: n must be >= 1");
+  NDetectResult result;
+  Rng rng(config.seed);
+
+  PodemConfig podem_config = config.podem;
+  podem_config.randomize = true;
+  const Podem podem(lines, podem_config);
+
+  std::set<std::uint32_t> in_set;
+
+  for (const StuckAtFault& fault : faults) {
+    std::set<std::uint32_t> found;  // distinct tests for this fault
+    bool aborted = false;
+    bool detectable = false;
+    int dry_attempts = 0;
+    while (static_cast<int>(found.size()) < config.n &&
+           dry_attempts < config.attempts_per_detection) {
+      const PodemResult run = podem.generate(fault, rng);
+      if (run.aborted) {
+        aborted = true;
+        break;
+      }
+      if (!run.cube) break;  // proven undetectable
+      detectable = true;
+      // Randomized completions of the cube diversify the detections.
+      bool added = false;
+      for (int fill = 0; fill < 16 && static_cast<int>(found.size()) < config.n;
+           ++fill) {
+        const auto test =
+            static_cast<std::uint32_t>(podem.complete_cube(*run.cube, rng));
+        if (found.insert(test).second) added = true;
+      }
+      dry_attempts = added ? 0 : dry_attempts + 1;
+    }
+    if (aborted) ++result.aborted_faults;
+    else if (!detectable) ++result.undetectable_faults;
+    else if (static_cast<int>(found.size()) < config.n) ++result.short_faults;
+    for (const std::uint32_t t : found) {
+      if (in_set.insert(t).second)
+        result.tests.push_back(t);
+    }
+  }
+
+  if (config.compact && !result.tests.empty()) {
+    // Reverse-order compaction: a test is dropped when every fault keeps
+    // min(n, achieved) detections without it.
+    const std::vector<Bitset> matrix =
+        detection_matrix(lines, faults, result.tests);
+    std::vector<std::size_t> counts;
+    counts.reserve(faults.size());
+    std::vector<std::size_t> quota;
+    quota.reserve(faults.size());
+    for (const Bitset& row : matrix) {
+      counts.push_back(row.count());
+      quota.push_back(std::min<std::size_t>(
+          static_cast<std::size_t>(config.n), row.count()));
+    }
+    std::vector<bool> keep(result.tests.size(), true);
+    for (std::size_t t = result.tests.size(); t-- > 0;) {
+      bool removable = true;
+      for (std::size_t f = 0; f < faults.size() && removable; ++f)
+        if (matrix[f].test(t) && counts[f] - 1 < quota[f]) removable = false;
+      if (!removable) continue;
+      keep[t] = false;
+      for (std::size_t f = 0; f < faults.size(); ++f)
+        if (matrix[f].test(t)) --counts[f];
+      ++result.compaction_removed;
+    }
+    std::vector<std::uint32_t> compacted;
+    compacted.reserve(result.tests.size() - result.compaction_removed);
+    for (std::size_t t = 0; t < result.tests.size(); ++t)
+      if (keep[t]) compacted.push_back(result.tests[t]);
+    result.tests = std::move(compacted);
+  }
+  return result;
+}
+
+}  // namespace ndet

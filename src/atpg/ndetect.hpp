@@ -1,0 +1,53 @@
+// ndetect.hpp -- deterministic n-detection test set generation.
+//
+// The "minor modification" of the paper's introduction: run PODEM per target
+// fault until n distinct tests are collected (or T(f) is exhausted), using
+// randomized backtrace decisions and randomized completion of the test cubes
+// to diversify detections.  A reverse-order compaction pass then drops tests
+// that no fault needs to keep its detection count.
+//
+// The generator is deliberately independent of the exhaustive analysis (it
+// never looks at T(f)); the test suite cross-validates it against the
+// exhaustive detection sets of the core library.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "atpg/podem.hpp"
+#include "faults/stuck_at.hpp"
+#include "netlist/lines.hpp"
+
+namespace ndet {
+
+/// Parameters of the n-detection generator.
+struct NDetectConfig {
+  int n = 10;                    ///< detections requested per fault
+  std::uint64_t seed = 1;        ///< randomization seed
+  int attempts_per_detection = 12;  ///< PODEM runs before giving up on more
+  PodemConfig podem;             ///< engine knobs
+  bool compact = true;           ///< reverse-order compaction pass
+};
+
+/// Result of n-detection generation.
+struct NDetectResult {
+  std::vector<std::uint32_t> tests;  ///< the test set, in generation order
+  std::size_t aborted_faults = 0;    ///< faults hitting the backtrack limit
+  std::size_t undetectable_faults = 0;
+  std::size_t short_faults = 0;  ///< detectable but fewer than n detections
+  std::size_t compaction_removed = 0;
+};
+
+/// Generates an n-detection test set for `faults`.
+NDetectResult generate_ndetection_set(const LineModel& lines,
+                                      std::span<const StuckAtFault> faults,
+                                      const NDetectConfig& config);
+
+/// Detection counts of every fault under an explicit test set (bit-parallel
+/// grading; shared by the generator's compactor and the examples).
+std::vector<std::size_t> count_detections(const LineModel& lines,
+                                          std::span<const StuckAtFault> faults,
+                                          std::span<const std::uint32_t> tests);
+
+}  // namespace ndet

@@ -1,0 +1,198 @@
+#include "atpg/podem.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace ndet {
+
+namespace {
+
+/// A PODEM decision: a primary input set to a value, with a flag telling
+/// whether the complementary value was already tried.
+struct Decision {
+  std::size_t input;
+  Ternary value;
+  bool flipped;
+};
+
+/// Controlling value of a gate's base function (AND/NAND -> 0, OR/NOR -> 1).
+std::optional<bool> controlling_value(GateType type) {
+  switch (type) {
+    case GateType::kAnd:
+    case GateType::kNand:
+      return false;
+    case GateType::kOr:
+    case GateType::kNor:
+      return true;
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace
+
+Podem::Podem(const LineModel& lines, PodemConfig config)
+    : lines_(&lines), sim_(lines), config_(config) {}
+
+PodemResult Podem::generate(const StuckAtFault& fault, Rng& rng) const {
+  const Circuit& c = lines_->circuit();
+  const Line& line = lines_->line(fault.line);
+  const GateId site = line.driver;  // activation is on the driving stem
+  const bool activation_value = !fault.stuck_value;
+
+  PodemResult result;
+  std::vector<Ternary> inputs(c.input_count(), Ternary::kX);
+  std::vector<Decision> decisions;
+
+  // Picks among X-valued fanins: first one, or a random one when
+  // randomization is on.
+  const auto pick_x_fanin =
+      [&](const Gate& gate,
+          const std::vector<Ternary>& good) -> std::optional<std::size_t> {
+    std::vector<std::size_t> xs;
+    for (std::size_t s = 0; s < gate.fanins.size(); ++s)
+      if (good[gate.fanins[s]] == Ternary::kX) xs.push_back(s);
+    if (xs.empty()) return std::nullopt;
+    if (config_.randomize && xs.size() > 1) return xs[rng.below(xs.size())];
+    return xs.front();
+  };
+
+  // Backtrace an objective (gate, value) to an unassigned primary input.
+  const auto backtrace =
+      [&](GateId gate, bool value,
+          const std::vector<Ternary>& good) -> std::optional<Decision> {
+    GateId g = gate;
+    bool v = value;
+    while (true) {
+      const Gate& node = c.gate(g);
+      if (node.type == GateType::kInput)
+        return Decision{c.input_index(g), ternary_of(v), false};
+      if (node.type == GateType::kConst0 || node.type == GateType::kConst1)
+        return std::nullopt;  // cannot justify through a constant
+      if (is_inverting(node.type)) v = !v;
+      const auto slot = pick_x_fanin(node, good);
+      if (!slot) return std::nullopt;
+      const GateId next = node.fanins[*slot];
+      // Base-function target: to force a controlling output drive the chosen
+      // input to the controlling value; to force the non-controlling output
+      // all inputs must be non-controlling.  XOR keeps the requested parity
+      // bit on the chosen input (a heuristic; completeness comes from the
+      // decision backtracking, not from backtrace precision).
+      const auto ctrl = controlling_value(node.type);
+      bool next_value = v;
+      if (ctrl.has_value()) next_value = (v == *ctrl) ? *ctrl : !*ctrl;
+      g = next;
+      v = next_value;
+    }
+  };
+
+  while (true) {
+    const std::vector<Ternary> good = sim_.good_values(inputs);
+    const std::vector<Ternary> faulty = sim_.faulty_values(fault, inputs, good);
+
+    // Success: a definite difference reached a primary output.
+    bool detected = false;
+    for (const GateId po : c.outputs()) {
+      if (is_binary(good[po]) && is_binary(faulty[po]) &&
+          good[po] != faulty[po]) {
+        detected = true;
+        break;
+      }
+    }
+    if (detected) {
+      result.cube = inputs;
+      return result;
+    }
+
+    // Determine the next objective.
+    std::optional<std::pair<GateId, bool>> objective;
+    bool dead_end = false;
+
+    if (good[site] == Ternary::kX) {
+      objective = {{site, activation_value}};  // activate the fault
+    } else if ((good[site] == Ternary::kOne) != activation_value) {
+      dead_end = true;  // activation definitely impossible under decisions
+    } else {
+      // Fault active: advance the D-frontier.
+      std::optional<std::pair<GateId, bool>> frontier_objective;
+      for (GateId g = 0; g < c.gate_count() && !frontier_objective; ++g) {
+        const Gate& gate = c.gate(g);
+        if (gate.fanins.empty()) continue;
+        const bool unresolved =
+            good[g] == Ternary::kX || faulty[g] == Ternary::kX;
+        if (!unresolved) continue;
+        bool has_d_input = false;
+        for (std::size_t s = 0; s < gate.fanins.size(); ++s) {
+          const GateId fi = gate.fanins[s];
+          if (line.kind == LineKind::kBranch && g == line.sink &&
+              static_cast<int>(s) == line.sink_slot) {
+            // The branch line itself: good value is the driver's, faulty
+            // value is the stuck constant -- a D whenever activation holds.
+            if (good[fi] == ternary_of(activation_value)) has_d_input = true;
+          } else if (is_binary(good[fi]) && is_binary(faulty[fi]) &&
+                     good[fi] != faulty[fi]) {
+            has_d_input = true;
+          }
+          if (has_d_input) break;
+        }
+        if (!has_d_input) continue;
+        const auto slot = pick_x_fanin(gate, good);
+        if (!slot) continue;
+        const auto ctrl = controlling_value(gate.type);
+        const bool value = ctrl.has_value() ? !*ctrl : false;
+        frontier_objective = {{gate.fanins[*slot], value}};
+      }
+      if (frontier_objective) objective = frontier_objective;
+      else dead_end = true;  // D-frontier empty: effect cannot propagate
+    }
+
+    if (!dead_end && objective) {
+      const auto decision = backtrace(objective->first, objective->second, good);
+      if (decision) {
+        inputs[decision->input] = decision->value;
+        decisions.push_back(*decision);
+        continue;
+      }
+      dead_end = true;  // objective cannot be justified from the inputs
+    }
+
+    // Backtrack.
+    bool resumed = false;
+    while (!decisions.empty()) {
+      Decision& top = decisions.back();
+      if (!top.flipped) {
+        top.flipped = true;
+        top.value = top.value == Ternary::kOne ? Ternary::kZero : Ternary::kOne;
+        inputs[top.input] = top.value;
+        ++result.backtracks;
+        if (result.backtracks > config_.max_backtracks) {
+          result.aborted = true;
+          return result;
+        }
+        resumed = true;
+        break;
+      }
+      inputs[top.input] = Ternary::kX;
+      decisions.pop_back();
+    }
+    if (!resumed) return result;  // decision space exhausted: undetectable
+  }
+}
+
+std::uint64_t Podem::complete_cube(const std::vector<Ternary>& cube,
+                                   Rng& rng) const {
+  const Circuit& c = lines_->circuit();
+  require(cube.size() == c.input_count(),
+          "Podem::complete_cube: cube width mismatch");
+  std::uint64_t vector_id = 0;
+  for (std::size_t i = 0; i < cube.size(); ++i) {
+    bool bit;
+    if (cube[i] == Ternary::kX) bit = rng.chance(1, 2);
+    else bit = cube[i] == Ternary::kOne;
+    vector_id = (vector_id << 1) | (bit ? 1u : 0u);
+  }
+  return vector_id;
+}
+
+}  // namespace ndet

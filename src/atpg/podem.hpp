@@ -1,0 +1,64 @@
+// podem.hpp -- PODEM test generation for single stuck-at faults.
+//
+// The paper's introduction motivates n-detection test sets partly because
+// "generation of n-detection test sets for a specific fault model requires
+// only minor modifications to a test generation procedure for the same
+// fault model".  This module provides that procedure: a classic PODEM
+// (Goel 1981) working on the composite (fault-free, faulty) three-valued
+// simulation of the sim substrate.  ndetect.hpp layers the minor
+// modification -- collecting n distinct tests per fault -- on top.
+//
+// The engine is complete up to the backtrack limit: given enough backtracks
+// it finds a test if and only if the fault is detectable (cross-validated
+// in the test suite against exhaustive detection sets).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "faults/stuck_at.hpp"
+#include "netlist/lines.hpp"
+#include "sim/ternary_sim.hpp"
+#include "util/rng.hpp"
+
+namespace ndet {
+
+/// PODEM tuning knobs.
+struct PodemConfig {
+  int max_backtracks = 10000;
+  /// When true, backtrace decisions among equivalent X inputs are
+  /// randomized through the supplied rng -- the lever the n-detection
+  /// generator uses to diversify tests for the same fault.
+  bool randomize = false;
+};
+
+/// Outcome of one PODEM run.
+struct PodemResult {
+  /// A test cube: values of the primary inputs, X = unconstrained.
+  /// Present only when the fault was detected.
+  std::optional<std::vector<Ternary>> cube;
+  bool aborted = false;  ///< backtrack limit hit (fault may be detectable)
+  int backtracks = 0;
+};
+
+/// PODEM automatic test pattern generator.
+class Podem {
+ public:
+  explicit Podem(const LineModel& lines, PodemConfig config = {});
+
+  /// Attempts to generate a test for `fault`.  `rng` is consulted only when
+  /// config.randomize is set.
+  PodemResult generate(const StuckAtFault& fault, Rng& rng) const;
+
+  /// Completes a cube to a full input vector id, filling X bits at random.
+  std::uint64_t complete_cube(const std::vector<Ternary>& cube, Rng& rng) const;
+
+ private:
+  const LineModel* lines_;
+  TernarySimulator sim_;
+  PodemConfig config_;
+};
+
+}  // namespace ndet

@@ -1,0 +1,52 @@
+#include "core/detection_db.hpp"
+
+#include "netlist/reach.hpp"
+#include "sim/exhaustive.hpp"
+#include "sim/fault_sim.hpp"
+
+namespace ndet {
+
+DetectionDb DetectionDb::build(const Circuit& circuit,
+                               const DetectionDbOptions& options) {
+  DetectionDb db;
+  db.circuit_ = std::make_shared<const Circuit>(circuit);
+  db.lines_ = std::make_shared<const LineModel>(*db.circuit_);
+
+  const ExhaustiveSimulator good(*db.circuit_, options.max_inputs);
+  db.vector_count_ = good.vector_count();
+  const FaultSimulator simulator(good, *db.lines_);
+
+  // F: collapsed single stuck-at faults, with their detection sets.
+  db.targets_ = collapse_stuck_at_faults(*db.lines_);
+  db.target_sets_ = simulator.detection_sets(db.targets_);
+
+  // G: four-way bridging faults, keeping only the detectable ones.
+  const ReachMatrix reach(*db.circuit_);
+  const std::vector<BridgingFault> enumerated =
+      enumerate_four_way_bridging(*db.circuit_, reach);
+  db.enumerated_untargeted_ = enumerated.size();
+  for (const BridgingFault& fault : enumerated) {
+    Bitset set = simulator.detection_set(fault);
+    if (set.none()) continue;
+    db.untargeted_.push_back(fault);
+    db.untargeted_sets_.push_back(std::move(set));
+  }
+  return db;
+}
+
+std::size_t DetectionDb::detectable_target_count() const {
+  std::size_t count = 0;
+  for (const Bitset& set : target_sets_)
+    if (set.any()) ++count;
+  return count;
+}
+
+std::vector<Bitset> transpose_detection_sets(std::span<const Bitset> sets,
+                                             std::uint64_t vector_count) {
+  std::vector<Bitset> rows(vector_count, Bitset(sets.size()));
+  for (std::size_t i = 0; i < sets.size(); ++i)
+    sets[i].for_each_set([&](std::size_t v) { rows[v].set(i); });
+  return rows;
+}
+
+}  // namespace ndet

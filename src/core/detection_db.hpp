@@ -1,0 +1,83 @@
+// detection_db.hpp -- the exhaustive detection-set database.
+//
+// The paper's entire analysis is a function of two families of sets:
+//   T(f) for every target fault f in F (collapsed single stuck-at), and
+//   T(g) for every untargeted fault g in G (detectable non-feedback four-way
+//   bridging faults between outputs of multi-input gates),
+// all subsets of U, the set of every input vector.  DetectionDb computes and
+// owns those sets for one circuit.  Everything downstream -- worst-case
+// analysis, Procedure 1, both report generators -- reads from here, so the
+// expensive exhaustive simulation runs exactly once per circuit.
+
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "faults/bridging.hpp"
+#include "faults/stuck_at.hpp"
+#include "netlist/circuit.hpp"
+#include "netlist/lines.hpp"
+#include "util/bitset.hpp"
+
+namespace ndet {
+
+/// Options controlling database construction.
+struct DetectionDbOptions {
+  int max_inputs = 20;  ///< exhaustive-simulation input limit
+};
+
+/// Exhaustive detection sets of one circuit.
+class DetectionDb {
+ public:
+  /// Builds the database: simulates the circuit exhaustively, enumerates and
+  /// collapses stuck-at faults, enumerates four-way bridging faults, and
+  /// computes all detection sets.  The circuit is copied in, so the database
+  /// is self-contained.
+  static DetectionDb build(const Circuit& circuit,
+                           const DetectionDbOptions& options = {});
+
+  const Circuit& circuit() const { return *circuit_; }
+  const LineModel& lines() const { return *lines_; }
+
+  /// |U| = 2^PI.
+  std::uint64_t vector_count() const { return vector_count_; }
+
+  /// F: the collapsed stuck-at fault list (undetectable faults included;
+  /// they are inert in every analysis since their T(f) is empty).
+  const std::vector<StuckAtFault>& targets() const { return targets_; }
+  /// T(f), index-aligned with targets().
+  const std::vector<Bitset>& target_sets() const { return target_sets_; }
+
+  /// G: detectable four-way bridging faults.
+  const std::vector<BridgingFault>& untargeted() const { return untargeted_; }
+  /// T(g), index-aligned with untargeted().
+  const std::vector<Bitset>& untargeted_sets() const { return untargeted_sets_; }
+
+  /// Bridging faults enumerated before the detectability filter.
+  std::size_t enumerated_untargeted() const { return enumerated_untargeted_; }
+
+  /// Number of detectable target faults.
+  std::size_t detectable_target_count() const;
+
+ private:
+  DetectionDb() = default;
+
+  std::shared_ptr<const Circuit> circuit_;
+  std::shared_ptr<const LineModel> lines_;
+  std::uint64_t vector_count_ = 0;
+  std::vector<StuckAtFault> targets_;
+  std::vector<Bitset> target_sets_;
+  std::vector<BridgingFault> untargeted_;
+  std::vector<Bitset> untargeted_sets_;
+  std::size_t enumerated_untargeted_ = 0;
+};
+
+/// Transposes detection sets: given sets[i] over U, returns per-vector sets
+/// over the fault indices (rows[v].test(i) == sets[i].test(v)).  Used by
+/// Procedure 1 to update detection counts incrementally as tests are added.
+std::vector<Bitset> transpose_detection_sets(std::span<const Bitset> sets,
+                                             std::uint64_t vector_count);
+
+}  // namespace ndet

@@ -1,0 +1,32 @@
+#include "core/escape.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ndet {
+
+EscapeReport compute_escape_report(const AverageCaseResult& result, int n) {
+  EscapeReport report;
+  report.n = n;
+  report.monitored_faults = result.monitored.size();
+  double log_all_detected = 0.0;
+  bool some_zero = false;
+  for (std::size_t j = 0; j < result.monitored.size(); ++j) {
+    const double p = result.probability(n, j);
+    report.expected_escapes += 1.0 - p;
+    report.worst_fault_probability =
+        std::min(report.worst_fault_probability, p);
+    if (p >= 1.0) ++report.guaranteed_detected;
+    if (p <= 0.0) some_zero = true;
+    else log_all_detected += std::log(p);
+  }
+  report.prob_any_escape =
+      some_zero ? 1.0 : 1.0 - std::exp(log_all_detected);
+  if (result.monitored.empty()) {
+    report.prob_any_escape = 0.0;
+    report.worst_fault_probability = 1.0;
+  }
+  return report;
+}
+
+}  // namespace ndet

@@ -1,0 +1,31 @@
+// escape.hpp -- Section 4: turning detection probabilities into escape
+// estimates.
+//
+// The paper closes by noting that the probabilities of Tables 5/6 "can be
+// used to calculate the probability that an untargeted fault escapes
+// detection".  This helper does that calculation for a monitored fault set:
+// per-fault escape probability 1 - p(n,g), the expected number of escaping
+// faults, and the probability that at least one fault escapes (under the
+// per-fault independence the estimator implies).
+
+#pragma once
+
+#include "core/procedure1.hpp"
+
+namespace ndet {
+
+/// Escape statistics for one value of n.
+struct EscapeReport {
+  int n = 0;
+  std::size_t monitored_faults = 0;
+  double expected_escapes = 0.0;      ///< sum over g of (1 - p(n,g))
+  double prob_any_escape = 0.0;       ///< 1 - prod over g of p(n,g)
+  double worst_fault_probability = 1.0;  ///< min over g of p(n,g)
+  std::size_t guaranteed_detected = 0;   ///< faults with p(n,g) == 1
+};
+
+/// Computes the escape report from an average-case result at detection
+/// count n (1 <= n <= config.nmax).
+EscapeReport compute_escape_report(const AverageCaseResult& result, int n);
+
+}  // namespace ndet

@@ -1,0 +1,134 @@
+#include "core/partition.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.hpp"
+
+namespace ndet {
+
+namespace {
+
+/// Gates in the transitive fanin of `outputs`, including the outputs,
+/// ascending.
+std::vector<GateId> fanin_cone(const Circuit& circuit,
+                               const std::vector<GateId>& outputs) {
+  std::vector<bool> seen(circuit.gate_count(), false);
+  std::vector<GateId> stack;
+  for (const GateId o : outputs) {
+    require(o < circuit.gate_count(), "fanin_cone: output id out of range");
+    if (!seen[o]) {
+      seen[o] = true;
+      stack.push_back(o);
+    }
+  }
+  std::vector<GateId> cone;
+  while (!stack.empty()) {
+    const GateId g = stack.back();
+    stack.pop_back();
+    cone.push_back(g);
+    for (const GateId fi : circuit.gate(g).fanins) {
+      if (!seen[fi]) {
+        seen[fi] = true;
+        stack.push_back(fi);
+      }
+    }
+  }
+  std::sort(cone.begin(), cone.end());
+  return cone;
+}
+
+}  // namespace
+
+std::vector<GateId> input_support(const Circuit& circuit,
+                                  const std::vector<GateId>& outputs) {
+  std::vector<GateId> support;
+  for (const GateId g : fanin_cone(circuit, outputs))
+    if (circuit.gate(g).type == GateType::kInput) support.push_back(g);
+  return support;
+}
+
+Circuit extract_cone(const Circuit& circuit,
+                     const std::vector<GateId>& outputs) {
+  require(!outputs.empty(), "extract_cone: no outputs given");
+  const std::vector<GateId> cone = fanin_cone(circuit, outputs);
+
+  std::string name = circuit.name() + "_cone";
+  for (const GateId o : outputs) name += "_" + circuit.gate(o).name;
+
+  CircuitBuilder builder(name);
+  std::vector<GateId> remap(circuit.gate_count(), kInvalidGate);
+  // Inputs first (the builder requires at least one; a cone of constants
+  // would be degenerate and is rejected by build()).
+  for (const GateId g : cone)
+    if (circuit.gate(g).type == GateType::kInput)
+      remap[g] = builder.add_input(circuit.gate(g).name);
+  for (const GateId g : cone) {
+    const Gate& gate = circuit.gate(g);
+    if (gate.type == GateType::kInput) continue;
+    std::vector<GateId> fanins;
+    fanins.reserve(gate.fanins.size());
+    for (const GateId fi : gate.fanins) {
+      require(remap[fi] != kInvalidGate, "extract_cone: fanin outside cone");
+      fanins.push_back(remap[fi]);
+    }
+    remap[g] = builder.add_gate(gate.type, gate.name, fanins);
+  }
+  std::set<GateId> marked;
+  for (const GateId o : outputs) {
+    if (marked.insert(o).second) builder.mark_output(remap[o]);
+  }
+  return builder.build();
+}
+
+std::vector<Circuit> partition_by_outputs(const Circuit& circuit,
+                                          std::size_t max_inputs) {
+  require(max_inputs >= 1, "partition_by_outputs: max_inputs must be >= 1");
+  std::vector<Circuit> cones;
+  std::vector<GateId> group;
+  std::set<GateId> group_support;
+
+  const auto flush = [&]() {
+    if (group.empty()) return;
+    cones.push_back(extract_cone(circuit, group));
+    group.clear();
+    group_support.clear();
+  };
+
+  for (const GateId po : circuit.outputs()) {
+    const std::vector<GateId> support = input_support(circuit, {po});
+    require(support.size() <= max_inputs,
+            "partition_by_outputs: output '" + circuit.gate(po).name +
+                "' alone depends on " + std::to_string(support.size()) +
+                " inputs, above the budget of " + std::to_string(max_inputs));
+    std::set<GateId> merged = group_support;
+    merged.insert(support.begin(), support.end());
+    if (!group.empty() && merged.size() > max_inputs) flush();
+    group.push_back(po);
+    group_support.insert(support.begin(), support.end());
+  }
+  flush();
+  return cones;
+}
+
+std::vector<ConeReport> partitioned_worst_case(const Circuit& circuit,
+                                               std::size_t max_inputs) {
+  std::vector<ConeReport> reports;
+  for (const Circuit& cone : partition_by_outputs(circuit, max_inputs)) {
+    const DetectionDb db = DetectionDb::build(cone);
+    const WorstCaseResult worst = analyze_worst_case(db);
+    ConeReport report;
+    report.cone_name = cone.name();
+    report.inputs = cone.input_count();
+    report.outputs = cone.output_count();
+    report.gates = cone.gate_count() - cone.input_count();
+    report.untargeted_faults = db.untargeted().size();
+    report.fraction_nmin_at_most_10 = worst.fraction_at_most(10);
+    report.max_finite_nmin = worst.max_finite_nmin();
+    report.never_guaranteed = worst.count_at_least(kNeverGuaranteed);
+    reports.push_back(std::move(report));
+  }
+  return reports;
+}
+
+}  // namespace ndet

@@ -1,0 +1,54 @@
+// partition.hpp -- Section 4's recipe for larger designs: "partition a
+// larger circuit into smaller subcircuits and apply the analysis to the
+// subcircuits".
+//
+// The partition used here is by output cones: primary outputs are greedily
+// grouped so that the union of their structural input supports stays within
+// the exhaustive-simulation budget, and each group becomes a standalone
+// subcircuit (the transitive fanin of its outputs).  The full analysis then
+// runs per cone.  Faults on logic shared between cones are analyzed in each
+// cone that contains them; bridging pairs that span two cones are not
+// represented -- this is the approximation the paper accepts in exchange for
+// applicability to large designs.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/worst_case.hpp"
+#include "netlist/circuit.hpp"
+
+namespace ndet {
+
+/// Extracts the subcircuit driving `outputs` (transitive fanin cone).
+/// Primary inputs keep their relative order; gate names are preserved.
+Circuit extract_cone(const Circuit& circuit, const std::vector<GateId>& outputs);
+
+/// Structural input support (primary-input gate ids) of a set of outputs.
+std::vector<GateId> input_support(const Circuit& circuit,
+                                  const std::vector<GateId>& outputs);
+
+/// Greedily groups primary outputs so each group's support has at most
+/// `max_inputs` inputs, and extracts one cone circuit per group.  Throws if
+/// a single output already exceeds the budget.
+std::vector<Circuit> partition_by_outputs(const Circuit& circuit,
+                                          std::size_t max_inputs);
+
+/// Per-cone summary of the worst-case analysis.
+struct ConeReport {
+  std::string cone_name;
+  std::size_t inputs = 0;
+  std::size_t outputs = 0;
+  std::size_t gates = 0;
+  std::size_t untargeted_faults = 0;
+  double fraction_nmin_at_most_10 = 0.0;
+  std::uint64_t max_finite_nmin = 0;
+  std::size_t never_guaranteed = 0;
+};
+
+/// Partitions the circuit and runs the worst-case analysis on every cone.
+std::vector<ConeReport> partitioned_worst_case(const Circuit& circuit,
+                                               std::size_t max_inputs);
+
+}  // namespace ndet

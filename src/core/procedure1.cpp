@@ -1,0 +1,233 @@
+#include "core/procedure1.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "sim/ternary_sim.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ndet {
+
+double AverageCaseResult::probability(int n, std::size_t j) const {
+  require(n >= 1 && n <= config.nmax, "AverageCaseResult: n out of range");
+  require(j < monitored.size(), "AverageCaseResult: fault index out of range");
+  return static_cast<double>(detect_count[static_cast<std::size_t>(n - 1)][j]) /
+         static_cast<double>(config.num_sets);
+}
+
+std::size_t AverageCaseResult::count_probability_at_least(
+    int n, double threshold) const {
+  std::size_t count = 0;
+  for (std::size_t j = 0; j < monitored.size(); ++j)
+    if (probability(n, j) >= threshold - 1e-12) ++count;
+  return count;
+}
+
+namespace {
+
+/// Per-set state shared by both definitions.
+struct SetState {
+  Bitset members;                      ///< tests currently in T_k, over U
+  std::vector<std::uint32_t> order;    ///< insertion order
+  std::vector<std::uint16_t> def1_count;  ///< detections per target fault
+  Bitset detected_monitored;           ///< over the monitored fault list
+  Rng rng;
+
+  SetState(std::uint64_t vectors, std::size_t targets, std::size_t monitored,
+           Rng generator)
+      : members(vectors),
+        def1_count(targets, 0),
+        detected_monitored(monitored),
+        rng(generator) {}
+};
+
+/// Definition-2 incremental counting state for one (set, fault) pair: the
+/// greedily counted tests and a cursor into the set's insertion order.
+struct Def2State {
+  std::vector<std::uint32_t> counted;
+  std::uint32_t cursor = 0;
+};
+
+}  // namespace
+
+AverageCaseResult run_procedure1(const DetectionDb& db,
+                                 std::span<const std::size_t> monitored,
+                                 const Procedure1Config& config) {
+  require(config.nmax >= 1, "run_procedure1: nmax must be >= 1");
+  require(config.num_sets >= 1, "run_procedure1: need at least one test set");
+
+  const auto& targets = db.targets();
+  const auto& target_sets = db.target_sets();
+  const std::uint64_t vectors = db.vector_count();
+  const std::size_t num_targets = targets.size();
+  const std::size_t k_sets = config.num_sets;
+  const bool def2 = config.definition == DetectionDefinition::kDissimilar;
+
+  AverageCaseResult result;
+  result.config = config;
+  result.monitored.assign(monitored.begin(), monitored.end());
+
+  // Per-vector transposes: which targets / monitored faults does vector v
+  // detect?  These make every test addition O(detected faults).
+  const std::vector<Bitset> target_rows =
+      transpose_detection_sets(target_sets, vectors);
+  std::vector<Bitset> monitored_sets;
+  monitored_sets.reserve(monitored.size());
+  for (const std::size_t j : monitored) {
+    require(j < db.untargeted().size(),
+            "run_procedure1: monitored index out of range");
+    monitored_sets.push_back(db.untargeted_sets()[j]);
+  }
+  const std::vector<Bitset> monitored_rows =
+      transpose_detection_sets(monitored_sets, vectors);
+
+  // Independent RNG stream per set: the iteration order of faults cannot
+  // leak across sets, keeping the K sets statistically independent.
+  Rng master(config.seed);
+  std::vector<SetState> sets;
+  sets.reserve(k_sets);
+  for (std::size_t k = 0; k < k_sets; ++k)
+    sets.emplace_back(vectors, num_targets, monitored.size(), master.split());
+
+  // Definition-2 machinery (constructed only when needed).
+  std::unique_ptr<Def2Oracle> oracle;
+  std::vector<std::vector<Def2State>> def2_state;  // [k][fault]
+  if (def2) {
+    oracle = std::make_unique<Def2Oracle>(db.lines(), targets);
+    def2_state.assign(k_sets, std::vector<Def2State>(num_targets));
+  }
+
+  const auto add_test = [&](SetState& state, std::uint32_t test) {
+    state.members.set(test);
+    state.order.push_back(test);
+    target_rows[test].for_each_set(
+        [&](std::size_t f) { ++state.def1_count[f]; });
+    state.detected_monitored |= monitored_rows[test];
+    ++result.stats.tests_added;
+  };
+
+  // Brings the greedy Definition-2 counted set of (k, i) up to date with the
+  // tests added to T_k since the last visit.
+  const auto refresh_def2 = [&](std::size_t k, std::size_t i) -> Def2State& {
+    Def2State& st = def2_state[k][i];
+    const auto& order = sets[k].order;
+    const Bitset& tf = target_sets[i];
+    while (st.cursor < order.size()) {
+      const std::uint32_t t = order[st.cursor++];
+      if (!tf.test(t)) continue;
+      bool distinct_from_all = true;
+      for (const std::uint32_t s : st.counted) {
+        ++result.stats.distinct_queries;
+        if (!oracle->distinct(i, s, t)) {
+          distinct_from_all = false;
+          break;
+        }
+      }
+      if (distinct_from_all) st.counted.push_back(t);
+    }
+    return st;
+  };
+
+  result.detect_count.resize(static_cast<std::size_t>(config.nmax));
+  result.set_sizes.resize(static_cast<std::size_t>(config.nmax));
+  if (config.keep_test_sets)
+    result.test_sets.resize(static_cast<std::size_t>(config.nmax));
+
+  for (int n = 1; n <= config.nmax; ++n) {
+    for (std::size_t i = 0; i < num_targets; ++i) {
+      const Bitset& tf = target_sets[i];
+      const std::size_t n_f = tf.count();
+      if (n_f == 0) continue;  // undetectable target: inert
+      for (std::size_t k = 0; k < k_sets; ++k) {
+        SetState& state = sets[k];
+        const std::size_t available = tf.and_not_count(state.members);
+
+        if (!def2) {
+          if (state.def1_count[i] >= static_cast<std::size_t>(n)) continue;
+          if (available == 0) continue;
+          const std::uint64_t r = state.rng.below(available);
+          add_test(state, static_cast<std::uint32_t>(
+                              tf.nth_in_difference(state.members, r)));
+          continue;
+        }
+
+        // Definition 2: count via the greedy dissimilarity clique.
+        Def2State& st = refresh_def2(k, i);
+        if (st.counted.size() >= static_cast<std::size_t>(n)) continue;
+        if (available == 0) continue;
+
+        // Look for a candidate that adds a Definition-2 detection.
+        const auto is_distinct_candidate = [&](std::uint32_t t) {
+          for (const std::uint32_t s : st.counted) {
+            ++result.stats.distinct_queries;
+            if (!oracle->distinct(i, s, t)) return false;
+          }
+          return true;
+        };
+
+        std::uint32_t chosen = 0;
+        bool found = false;
+        if (available <= 64) {
+          // Small difference: enumerate and pick uniformly among candidates.
+          std::vector<std::uint32_t> candidates;
+          Bitset diff = tf;
+          diff.and_not(state.members);
+          diff.for_each_set([&](std::size_t v) {
+            if (is_distinct_candidate(static_cast<std::uint32_t>(v)))
+              candidates.push_back(static_cast<std::uint32_t>(v));
+          });
+          if (!candidates.empty()) {
+            chosen = candidates[state.rng.below(candidates.size())];
+            found = true;
+          }
+        } else {
+          // Large difference: bounded random probing.
+          for (std::size_t probe = 0; probe < config.def2_probe_limit;
+               ++probe) {
+            const std::uint64_t r = state.rng.below(available);
+            const auto t = static_cast<std::uint32_t>(
+                tf.nth_in_difference(state.members, r));
+            if (is_distinct_candidate(t)) {
+              chosen = t;
+              found = true;
+              break;
+            }
+          }
+        }
+
+        if (found) {
+          add_test(state, chosen);
+          // The new test is in T(f_i) and distinct: count it immediately.
+          Def2State& fresh = refresh_def2(k, i);
+          (void)fresh;
+        } else if (state.def1_count[i] < static_cast<std::size_t>(n)) {
+          // Definition-1 fallback: no test can increase the Definition-2
+          // count, but the fault is still short of n plain detections.
+          const std::uint64_t r = state.rng.below(available);
+          add_test(state, static_cast<std::uint32_t>(
+                              tf.nth_in_difference(state.members, r)));
+          ++result.stats.def1_fallbacks;
+        }
+      }
+    }
+
+    // Snapshot d(n, g) and set sizes at the end of iteration n.
+    auto& dn = result.detect_count[static_cast<std::size_t>(n - 1)];
+    dn.assign(monitored.size(), 0);
+    auto& sizes = result.set_sizes[static_cast<std::size_t>(n - 1)];
+    sizes.resize(k_sets);
+    for (std::size_t k = 0; k < k_sets; ++k) {
+      sets[k].detected_monitored.for_each_set([&](std::size_t j) { ++dn[j]; });
+      sizes[k] = static_cast<std::uint32_t>(sets[k].order.size());
+    }
+    if (config.keep_test_sets) {
+      auto& snapshot = result.test_sets[static_cast<std::size_t>(n - 1)];
+      snapshot.resize(k_sets);
+      for (std::size_t k = 0; k < k_sets; ++k) snapshot[k] = sets[k].order;
+    }
+  }
+  return result;
+}
+
+}  // namespace ndet

@@ -1,0 +1,82 @@
+#include "core/worst_case.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace ndet {
+
+double WorstCaseResult::fraction_at_most(std::uint64_t n) const {
+  if (nmin.empty()) return 0.0;
+  std::size_t count = 0;
+  for (const std::uint64_t v : nmin)
+    if (v != kNeverGuaranteed && v <= n) ++count;
+  return static_cast<double>(count) / static_cast<double>(nmin.size());
+}
+
+std::size_t WorstCaseResult::count_at_least(std::uint64_t n) const {
+  std::size_t count = 0;
+  for (const std::uint64_t v : nmin)
+    if (v >= n) ++count;
+  return count;
+}
+
+std::vector<std::size_t> WorstCaseResult::indices_at_least(
+    std::uint64_t n) const {
+  std::vector<std::size_t> indices;
+  for (std::size_t j = 0; j < nmin.size(); ++j)
+    if (nmin[j] >= n) indices.push_back(j);
+  return indices;
+}
+
+std::map<std::uint64_t, std::size_t> WorstCaseResult::histogram() const {
+  std::map<std::uint64_t, std::size_t> h;
+  for (const std::uint64_t v : nmin) ++h[v];
+  return h;
+}
+
+std::uint64_t WorstCaseResult::max_finite_nmin() const {
+  std::uint64_t best = 0;
+  for (const std::uint64_t v : nmin)
+    if (v != kNeverGuaranteed) best = std::max(best, v);
+  return best;
+}
+
+std::uint64_t nmin_of(const Bitset& untargeted_set,
+                      std::span<const Bitset> target_sets) {
+  std::uint64_t best = kNeverGuaranteed;
+  for (const Bitset& tf : target_sets) {
+    const std::size_t m = tf.intersect_count(untargeted_set);
+    if (m == 0) continue;
+    const std::uint64_t candidate = tf.count() - m + 1;
+    best = std::min(best, candidate);
+    if (best == 1) break;  // cannot get smaller
+  }
+  return best;
+}
+
+WorstCaseResult analyze_worst_case(const DetectionDb& db) {
+  WorstCaseResult result;
+  result.nmin.reserve(db.untargeted().size());
+  for (const Bitset& tg : db.untargeted_sets())
+    result.nmin.push_back(nmin_of(tg, db.target_sets()));
+  return result;
+}
+
+std::vector<OverlapEntry> overlap_entries(const DetectionDb& db,
+                                          std::size_t untargeted_index) {
+  require(untargeted_index < db.untargeted().size(),
+          "overlap_entries: untargeted fault index out of range");
+  const Bitset& tg = db.untargeted_sets()[untargeted_index];
+  std::vector<OverlapEntry> entries;
+  for (std::size_t i = 0; i < db.targets().size(); ++i) {
+    const Bitset& tf = db.target_sets()[i];
+    const std::size_t m = tf.intersect_count(tg);
+    if (m == 0) continue;
+    const std::size_t n_f = tf.count();
+    entries.push_back({i, n_f, m, n_f - m + 1});
+  }
+  return entries;
+}
+
+}  // namespace ndet

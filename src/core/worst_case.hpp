@@ -1,0 +1,69 @@
+// worst_case.hpp -- Section 2 of the paper: the worst-case analysis.
+//
+// For an untargeted fault g, a target fault f with T(f) n T(g) != {} can be
+// detected N(f) - M(g,f) times without touching T(g); one more detection
+// forces a test of g into the set.  Hence
+//
+//   nmin(g,f) = N(f) - M(g,f) + 1
+//   nmin(g)   = min over f in F(g) of nmin(g,f)
+//
+// is the smallest n such that EVERY n-detection test set for F detects g
+// (and for n < nmin(g) a test set avoiding g exists, so the bound is exact).
+// When no target fault's tests overlap T(g), no value of n ever guarantees
+// detection; nmin(g) = kNeverGuaranteed.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/detection_db.hpp"
+
+namespace ndet {
+
+/// Sentinel nmin for faults no n-detection test set is guaranteed to detect.
+constexpr std::uint64_t kNeverGuaranteed = ~std::uint64_t{0};
+
+/// Result of the worst-case analysis over all of G.
+struct WorstCaseResult {
+  /// nmin(g), index-aligned with DetectionDb::untargeted().
+  std::vector<std::uint64_t> nmin;
+
+  /// Fraction of G with nmin(g) <= n (a Table 2 cell).
+  double fraction_at_most(std::uint64_t n) const;
+
+  /// Number of faults with nmin(g) >= n (a Table 3 cell);
+  /// kNeverGuaranteed counts as >= any n.
+  std::size_t count_at_least(std::uint64_t n) const;
+
+  /// Indices of faults with nmin(g) >= n (monitored set for Tables 5/6).
+  std::vector<std::size_t> indices_at_least(std::uint64_t n) const;
+
+  /// Histogram nmin value -> number of faults (Figure 2 input).
+  std::map<std::uint64_t, std::size_t> histogram() const;
+
+  /// Largest finite nmin (0 when all are kNeverGuaranteed or G is empty).
+  std::uint64_t max_finite_nmin() const;
+};
+
+/// nmin against a specific target-fault family: min over overlapping f of
+/// N(f) - M(g,f) + 1.  Exposed for reuse by the partition analysis.
+std::uint64_t nmin_of(const Bitset& untargeted_set,
+                      std::span<const Bitset> target_sets);
+
+/// Runs the worst-case analysis for every fault in G.
+WorstCaseResult analyze_worst_case(const DetectionDb& db);
+
+/// Table-1-style drill-down for one untargeted fault: every target fault
+/// with overlapping tests, with N(f), M(g,f) and nmin(g,f).
+struct OverlapEntry {
+  std::size_t target_index;  ///< index into DetectionDb::targets()
+  std::size_t n_f;           ///< N(f) = |T(f)|
+  std::size_t m_gf;          ///< M(g,f) = |T(f) n T(g)|
+  std::uint64_t nmin_gf;     ///< N - M + 1
+};
+std::vector<OverlapEntry> overlap_entries(const DetectionDb& db,
+                                          std::size_t untargeted_index);
+
+}  // namespace ndet

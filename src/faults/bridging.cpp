@@ -1,0 +1,38 @@
+#include "faults/bridging.hpp"
+
+namespace ndet {
+
+std::string to_string(const BridgingFault& fault, const Circuit& circuit) {
+  return "(" + circuit.gate(fault.victim).name + "," +
+         (fault.victim_value ? "1" : "0") + "," +
+         circuit.gate(fault.aggressor).name + "," +
+         (fault.aggressor_value ? "1" : "0") + ")";
+}
+
+std::vector<BridgingFault> enumerate_four_way_bridging(
+    const Circuit& circuit, const ReachMatrix& reach) {
+  std::vector<GateId> sites;
+  for (GateId g = 0; g < circuit.gate_count(); ++g)
+    if (is_multi_input(circuit.gate(g).type)) sites.push_back(g);
+
+  std::vector<BridgingFault> faults;
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    for (std::size_t j = i + 1; j < sites.size(); ++j) {
+      const GateId x = sites[i];
+      const GateId y = sites[j];
+      if (!reach.independent(x, y)) continue;
+      faults.push_back({x, false, y, true});
+      faults.push_back({x, true, y, false});
+      faults.push_back({y, false, x, true});
+      faults.push_back({y, true, x, false});
+    }
+  }
+  return faults;
+}
+
+std::size_t bridging_pair_count(const Circuit& circuit,
+                                const ReachMatrix& reach) {
+  return enumerate_four_way_bridging(circuit, reach).size() / 4;
+}
+
+}  // namespace ndet

@@ -1,0 +1,117 @@
+#include "faults/stuck_at.hpp"
+
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace ndet {
+
+std::string to_string(const StuckAtFault& fault, const LineModel& lines) {
+  return lines.line(fault.line).name + "/" + (fault.stuck_value ? "1" : "0");
+}
+
+std::vector<StuckAtFault> all_stuck_at_faults(const LineModel& lines) {
+  std::vector<StuckAtFault> faults;
+  faults.reserve(lines.line_count() * 2);
+  for (LineId l = 0; l < lines.line_count(); ++l) {
+    faults.push_back({l, false});
+    faults.push_back({l, true});
+  }
+  return faults;
+}
+
+namespace {
+
+/// Union-find over fault slots (line id * 2 + stuck value).
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    // Keep the larger slot as root so the representative is the fault on the
+    // line with the largest id (the gate output at the end of the chain).
+    if (a < b) std::swap(a, b);
+    parent_[b] = a;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+std::size_t slot(LineId line, bool value) {
+  return static_cast<std::size_t>(line) * 2 + (value ? 1 : 0);
+}
+
+UnionFind build_equivalences(const LineModel& lines) {
+  const Circuit& circuit = lines.circuit();
+  UnionFind uf(lines.line_count() * 2);
+  for (GateId g = 0; g < circuit.gate_count(); ++g) {
+    const Gate& gate = circuit.gate(g);
+    const LineId out = lines.stem_of(g);
+    const auto connect = [&](int slot_index) {
+      return lines.line_for_connection(g, slot_index);
+    };
+    switch (gate.type) {
+      case GateType::kAnd:
+        for (int i = 0; i < static_cast<int>(gate.fanins.size()); ++i)
+          uf.unite(slot(connect(i), false), slot(out, false));
+        break;
+      case GateType::kNand:
+        for (int i = 0; i < static_cast<int>(gate.fanins.size()); ++i)
+          uf.unite(slot(connect(i), false), slot(out, true));
+        break;
+      case GateType::kOr:
+        for (int i = 0; i < static_cast<int>(gate.fanins.size()); ++i)
+          uf.unite(slot(connect(i), true), slot(out, true));
+        break;
+      case GateType::kNor:
+        for (int i = 0; i < static_cast<int>(gate.fanins.size()); ++i)
+          uf.unite(slot(connect(i), true), slot(out, false));
+        break;
+      case GateType::kBuf:
+        uf.unite(slot(connect(0), false), slot(out, false));
+        uf.unite(slot(connect(0), true), slot(out, true));
+        break;
+      case GateType::kNot:
+        uf.unite(slot(connect(0), false), slot(out, true));
+        uf.unite(slot(connect(0), true), slot(out, false));
+        break;
+      default:
+        break;  // inputs, constants, XOR/XNOR: no equivalences
+    }
+  }
+  return uf;
+}
+
+}  // namespace
+
+std::vector<StuckAtFault> collapse_stuck_at_faults(const LineModel& lines) {
+  UnionFind uf = build_equivalences(lines);
+  std::vector<StuckAtFault> faults;
+  for (LineId l = 0; l < lines.line_count(); ++l) {
+    for (const bool value : {false, true}) {
+      const std::size_t s = slot(l, value);
+      if (uf.find(s) == s) faults.push_back({l, value});
+    }
+  }
+  return faults;
+}
+
+std::size_t collapse_savings(const LineModel& lines) {
+  return lines.line_count() * 2 - collapse_stuck_at_faults(lines).size();
+}
+
+}  // namespace ndet

@@ -1,0 +1,51 @@
+// stuck_at.hpp -- single stuck-at faults and structural equivalence
+// collapsing.
+//
+// The paper's target fault set F is the set of *collapsed* single stuck-at
+// faults.  Collapsing uses the classic structural equivalences
+//
+//   AND : input s-a-0 == output s-a-0      NAND: input s-a-0 == output s-a-1
+//   OR  : input s-a-1 == output s-a-1      NOR : input s-a-1 == output s-a-0
+//   BUF : input s-a-v == output s-a-v      NOT : input s-a-v == output s-a-!v
+//
+// (no equivalences across XOR/XNOR or fanout stems).  Each equivalence class
+// keeps the fault on the line with the largest id -- i.e. the gate output --
+// as its representative, and the collapsed list is ordered by (line id,
+// s-a-0 before s-a-1).  This convention reproduces the fault indices of the
+// paper's Table 1 exactly (f0 = 1/1, f1 = 2/0, f3 = 3/0, f9 = 8/0,
+// f11 = 9/1, f12 = 10/0, f14 = 11/0 on the Figure-1 example).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/lines.hpp"
+
+namespace ndet {
+
+/// A single stuck-at fault on a line (stem or fanout branch).
+struct StuckAtFault {
+  LineId line = 0;
+  bool stuck_value = false;
+
+  friend bool operator==(const StuckAtFault&, const StuckAtFault&) = default;
+};
+
+/// Human-readable fault name, e.g. "9/1" or "2->10[0]/0".
+std::string to_string(const StuckAtFault& fault, const LineModel& lines);
+
+/// The full (uncollapsed) fault list: two faults per line, ordered by
+/// (line id, s-a-0, s-a-1).
+std::vector<StuckAtFault> all_stuck_at_faults(const LineModel& lines);
+
+/// Structural equivalence collapsing; see the header comment for the rules
+/// and representative convention.  The result is ordered like
+/// all_stuck_at_faults().
+std::vector<StuckAtFault> collapse_stuck_at_faults(const LineModel& lines);
+
+/// Number of equivalence classes merged away (for reporting):
+/// all - collapsed.
+std::size_t collapse_savings(const LineModel& lines);
+
+}  // namespace ndet

@@ -1,0 +1,35 @@
+#include "fsm/encoding.hpp"
+
+#include "util/check.hpp"
+
+namespace ndet {
+
+std::size_t encoding_width(std::size_t num_states, StateEncoding encoding) {
+  require(num_states >= 1, "encoding_width: need at least one state");
+  if (encoding == StateEncoding::kOneHot) return num_states;
+  std::size_t width = 1;
+  while ((std::size_t{1} << width) < num_states) ++width;
+  return width;
+}
+
+std::vector<std::vector<bool>> encode_states(std::size_t num_states,
+                                             StateEncoding encoding) {
+  const std::size_t width = encoding_width(num_states, encoding);
+  std::vector<std::vector<bool>> codes(num_states,
+                                       std::vector<bool>(width, false));
+  for (std::size_t s = 0; s < num_states; ++s) {
+    std::size_t value = s;
+    if (encoding == StateEncoding::kGray) value = s ^ (s >> 1);
+    for (std::size_t b = 0; b < width; ++b) {
+      if (encoding == StateEncoding::kOneHot) {
+        codes[s][b] = (b == s);
+      } else {
+        // Bit 0 is the most significant bit of the code.
+        codes[s][b] = (value >> (width - 1 - b)) & 1u;
+      }
+    }
+  }
+  return codes;
+}
+
+}  // namespace ndet

@@ -1,0 +1,28 @@
+// encoding.hpp -- state assignments for FSM synthesis.
+//
+// The paper does not pin down the state encoding its synthesis used; the
+// default here is minimal-length binary in state order.  Gray and one-hot
+// are provided for the encoding-sensitivity ablation bench
+// (bench/ablation_encoding), which quantifies how much the nmin
+// distribution of the synthesized combinational logic depends on this
+// choice.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ndet {
+
+/// Available state assignments.
+enum class StateEncoding { kBinary, kGray, kOneHot };
+
+/// Number of state bits used by an encoding.
+std::size_t encoding_width(std::size_t num_states, StateEncoding encoding);
+
+/// Code of every state: codes[s][b] is bit b of state s.  Bit 0 is the most
+/// significant state bit (matching the input-vector convention).
+std::vector<std::vector<bool>> encode_states(std::size_t num_states,
+                                             StateEncoding encoding);
+
+}  // namespace ndet

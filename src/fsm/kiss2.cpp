@@ -1,0 +1,177 @@
+#include "fsm/kiss2.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace ndet {
+
+std::size_t Kiss2Fsm::state_index(const std::string& state) const {
+  const auto it = std::find(states.begin(), states.end(), state);
+  require(it != states.end(), "Kiss2Fsm: unknown state '" + state + "'");
+  return static_cast<std::size_t>(it - states.begin());
+}
+
+namespace {
+
+[[noreturn]] void fail(const std::string& name, int line,
+                       const std::string& message) {
+  throw contract_error("KISS2 parse error in '" + name + "' line " +
+                       std::to_string(line) + ": " + message);
+}
+
+bool is_cube(const std::string& s) {
+  return std::all_of(s.begin(), s.end(),
+                     [](char c) { return c == '0' || c == '1' || c == '-'; });
+}
+
+}  // namespace
+
+Kiss2Fsm parse_kiss2(const std::string& text, const std::string& name) {
+  Kiss2Fsm fsm;
+  fsm.name = name;
+  int declared_terms = -1;
+  int declared_states = -1;
+
+  const auto note_state = [&fsm](const std::string& s) {
+    if (std::find(fsm.states.begin(), fsm.states.end(), s) == fsm.states.end())
+      fsm.states.push_back(s);
+  };
+
+  std::istringstream stream(text);
+  std::string raw;
+  int line_number = 0;
+  bool ended = false;
+  while (std::getline(stream, raw)) {
+    ++line_number;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    std::istringstream line(raw);
+    std::string first;
+    if (!(line >> first)) continue;
+    if (ended) fail(name, line_number, "content after .e");
+
+    if (first == ".i" || first == ".o" || first == ".p" || first == ".s") {
+      int value = 0;
+      if (!(line >> value) || value <= 0)
+        fail(name, line_number, "directive " + first + " needs a positive count");
+      if (first == ".i") fsm.num_inputs = value;
+      else if (first == ".o") fsm.num_outputs = value;
+      else if (first == ".p") declared_terms = value;
+      else declared_states = value;
+      continue;
+    }
+    if (first == ".r") {
+      if (!(line >> fsm.reset_state))
+        fail(name, line_number, ".r needs a state name");
+      continue;
+    }
+    if (first == ".e" || first == ".end") {
+      ended = true;
+      continue;
+    }
+    if (first[0] == '.') fail(name, line_number, "unknown directive " + first);
+
+    Kiss2Term term;
+    term.input = first;
+    if (!(line >> term.current >> term.next >> term.output))
+      fail(name, line_number, "term needs: input current next output");
+    if (fsm.num_inputs == 0 || fsm.num_outputs == 0)
+      fail(name, line_number, ".i and .o must precede terms");
+    if (static_cast<int>(term.input.size()) != fsm.num_inputs ||
+        !is_cube(term.input))
+      fail(name, line_number, "bad input cube '" + term.input + "'");
+    if (static_cast<int>(term.output.size()) != fsm.num_outputs ||
+        !is_cube(term.output))
+      fail(name, line_number, "bad output cube '" + term.output + "'");
+    note_state(term.current);
+    note_state(term.next);
+    fsm.terms.push_back(std::move(term));
+  }
+
+  require(fsm.num_inputs > 0, "KISS2 '" + name + "': missing .i");
+  require(fsm.num_outputs > 0, "KISS2 '" + name + "': missing .o");
+  require(!fsm.terms.empty(), "KISS2 '" + name + "': no terms");
+  if (declared_terms >= 0 &&
+      declared_terms != static_cast<int>(fsm.terms.size()))
+    throw contract_error("KISS2 '" + name + "': .p declares " +
+                         std::to_string(declared_terms) + " terms but " +
+                         std::to_string(fsm.terms.size()) + " were given");
+  if (declared_states >= 0 &&
+      declared_states != static_cast<int>(fsm.states.size()))
+    throw contract_error("KISS2 '" + name + "': .s declares " +
+                         std::to_string(declared_states) + " states but " +
+                         std::to_string(fsm.states.size()) + " appear");
+  if (!fsm.reset_state.empty()) fsm.state_index(fsm.reset_state);
+  return fsm;
+}
+
+std::string write_kiss2(const Kiss2Fsm& fsm) {
+  std::ostringstream os;
+  os << "# " << fsm.name << "\n.i " << fsm.num_inputs << "\n.o "
+     << fsm.num_outputs << "\n.p " << fsm.terms.size() << "\n.s "
+     << fsm.states.size() << "\n";
+  if (!fsm.reset_state.empty()) os << ".r " << fsm.reset_state << "\n";
+  for (const Kiss2Term& term : fsm.terms)
+    os << term.input << ' ' << term.current << ' ' << term.next << ' '
+       << term.output << '\n';
+  os << ".e\n";
+  return os.str();
+}
+
+SttEval evaluate_stt(const Kiss2Fsm& fsm, std::size_t state,
+                     const std::vector<bool>& inputs) {
+  require(state < fsm.states.size(), "evaluate_stt: state out of range");
+  require(static_cast<int>(inputs.size()) == fsm.num_inputs,
+          "evaluate_stt: wrong input count");
+  SttEval eval;
+  eval.next_state = fsm.states.size();
+  eval.outputs.assign(static_cast<std::size_t>(fsm.num_outputs), false);
+
+  const std::string& current = fsm.states[state];
+  for (const Kiss2Term& term : fsm.terms) {
+    if (term.current != current) continue;
+    bool match = true;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      const char c = term.input[i];
+      if (c == '-') continue;
+      if ((c == '1') != inputs[i]) {
+        match = false;
+        break;
+      }
+    }
+    if (!match) continue;
+    // Deterministic tables have at most one matching term; when several
+    // match (overlapping cubes emitting the same behaviour are legal in
+    // KISS2), outputs accumulate disjunctively, mirroring the synthesized
+    // OR-plane, and the first matching term decides the next state.
+    if (!eval.specified) {
+      eval.next_state = fsm.state_index(term.next);
+      eval.specified = true;
+    }
+    for (std::size_t o = 0; o < eval.outputs.size(); ++o)
+      if (term.output[o] == '1') eval.outputs[o] = true;
+  }
+  return eval;
+}
+
+bool is_deterministic(const Kiss2Fsm& fsm) {
+  const auto cubes_overlap = [](const std::string& a, const std::string& b) {
+    for (std::size_t i = 0; i < a.size(); ++i)
+      if (a[i] != '-' && b[i] != '-' && a[i] != b[i]) return false;
+    return true;
+  };
+  for (std::size_t i = 0; i < fsm.terms.size(); ++i) {
+    for (std::size_t j = i + 1; j < fsm.terms.size(); ++j) {
+      const Kiss2Term& a = fsm.terms[i];
+      const Kiss2Term& b = fsm.terms[j];
+      if (a.current != b.current) continue;
+      if (!cubes_overlap(a.input, b.input)) continue;
+      if (a.next != b.next || a.output != b.output) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ndet

@@ -1,0 +1,68 @@
+// kiss2.hpp -- the KISS2 state-transition-table format of the MCNC
+// finite-state-machine benchmarks.
+//
+// The paper's experiments run on "the combinational logic of MCNC
+// finite-state machine benchmarks".  This module parses the KISS2 format so
+// the same pipeline (STT -> encoded two-level logic -> gate netlist) can run
+// on any machine, including the embedded reconstructions in benchmarks.hpp.
+//
+// Format (one term per line, '#' comments):
+//   .i N   inputs      .o M  outputs     .p P  terms (optional)
+//   .s S   states (optional)             .r S0 reset state (optional)
+//   <input cube over {0,1,-}> <current> <next> <output cube over {0,1,-}>
+//   .e     end (optional)
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ndet {
+
+/// One row of the state transition table.
+struct Kiss2Term {
+  std::string input;    ///< length = num_inputs, chars in {0,1,-}
+  std::string current;  ///< current-state name
+  std::string next;     ///< next-state name
+  std::string output;   ///< length = num_outputs, chars in {0,1,-}
+};
+
+/// A parsed KISS2 state machine.
+struct Kiss2Fsm {
+  std::string name;
+  int num_inputs = 0;
+  int num_outputs = 0;
+  std::vector<std::string> states;  ///< in order of first appearance
+  std::string reset_state;          ///< empty when not declared
+  std::vector<Kiss2Term> terms;
+
+  /// Index of a state name in `states`; throws for unknown states.
+  std::size_t state_index(const std::string& state) const;
+};
+
+/// Parses KISS2 text; throws contract_error with line info on bad input.
+Kiss2Fsm parse_kiss2(const std::string& text, const std::string& name);
+
+/// Serializes back to KISS2 (stable, includes .p/.s headers).
+std::string write_kiss2(const Kiss2Fsm& fsm);
+
+/// Evaluates the STT directly: given a state index and a fully specified
+/// input (bit i = value of input i), returns the (next state index, output
+/// bits) pair.  Unspecified combinations return (same state... no:) --
+/// combinations matched by no term yield next state 0's encoding semantics;
+/// here they return (state_count(), zeros) where state_count() acts as the
+/// "no transition" marker.  Used as the oracle for synthesis tests.
+struct SttEval {
+  std::size_t next_state;            ///< == states.size() when unspecified
+  std::vector<bool> outputs;         ///< '-' outputs evaluate to 0
+  bool specified = false;
+};
+SttEval evaluate_stt(const Kiss2Fsm& fsm, std::size_t state,
+                     const std::vector<bool>& inputs);
+
+/// True when no two terms of the same state have overlapping input cubes
+/// with conflicting next state or outputs.  Deterministic tables make
+/// evaluate_stt an exact oracle for the synthesized circuit.
+bool is_deterministic(const Kiss2Fsm& fsm);
+
+}  // namespace ndet

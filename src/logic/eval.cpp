@@ -1,0 +1,49 @@
+#include "logic/eval.hpp"
+
+#include "util/check.hpp"
+
+namespace ndet {
+
+std::uint64_t eval_gate_words(GateType type,
+                              std::span<const std::uint64_t> fanins) {
+  require(fanins.size() >= static_cast<std::size_t>(min_fanin(type)) &&
+              min_fanin(type) >= 1,
+          "eval_gate_words: wrong fanin count for gate type " + to_string(type));
+  switch (type) {
+    case GateType::kBuf:
+      return fanins[0];
+    case GateType::kNot:
+      return ~fanins[0];
+    case GateType::kAnd:
+    case GateType::kNand: {
+      std::uint64_t acc = fanins[0];
+      for (std::size_t i = 1; i < fanins.size(); ++i) acc &= fanins[i];
+      return type == GateType::kNand ? ~acc : acc;
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      std::uint64_t acc = fanins[0];
+      for (std::size_t i = 1; i < fanins.size(); ++i) acc |= fanins[i];
+      return type == GateType::kNor ? ~acc : acc;
+    }
+    case GateType::kXor:
+    case GateType::kXnor: {
+      std::uint64_t acc = fanins[0];
+      for (std::size_t i = 1; i < fanins.size(); ++i) acc ^= fanins[i];
+      return type == GateType::kXnor ? ~acc : acc;
+    }
+    default:
+      throw contract_error("eval_gate_words: gate type " + to_string(type) +
+                           " has no fanin evaluation");
+  }
+}
+
+bool eval_gate_scalar(GateType type, std::span<const bool> fanins) {
+  std::uint64_t packed_inputs[64];
+  require(fanins.size() <= 64, "eval_gate_scalar: too many fanins");
+  for (std::size_t i = 0; i < fanins.size(); ++i)
+    packed_inputs[i] = fanins[i] ? ~std::uint64_t{0} : 0;
+  return (eval_gate_words(type, {packed_inputs, fanins.size()}) & 1u) != 0;
+}
+
+}  // namespace ndet

@@ -1,0 +1,26 @@
+// eval.hpp -- two-valued, 64-way bit-parallel gate evaluation.
+//
+// The exhaustive analysis simulates all |U| = 2^PI input vectors; packing 64
+// vectors per machine word makes that a few thousand word operations even for
+// the largest benchmark in the suite.  `eval_gate_words` evaluates one gate
+// for 64 vectors at a time given the packed fanin words.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "logic/gate_type.hpp"
+
+namespace ndet {
+
+/// Evaluates a gate over one 64-vector slice.  `fanins` holds one packed word
+/// per fanin.  INPUT/CONST gates are handled by the caller (they have no
+/// fanins); passing them here throws.
+std::uint64_t eval_gate_words(GateType type, std::span<const std::uint64_t> fanins);
+
+/// Scalar convenience used by unit tests and the ternary simulator's binary
+/// fallback: evaluates a gate on single-bit inputs.
+bool eval_gate_scalar(GateType type, std::span<const bool> fanins);
+
+}  // namespace ndet

@@ -1,0 +1,92 @@
+#include "logic/gate_type.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/check.hpp"
+
+namespace ndet {
+
+std::string to_string(GateType type) {
+  switch (type) {
+    case GateType::kInput: return "input";
+    case GateType::kBuf: return "buf";
+    case GateType::kNot: return "not";
+    case GateType::kAnd: return "and";
+    case GateType::kNand: return "nand";
+    case GateType::kOr: return "or";
+    case GateType::kNor: return "nor";
+    case GateType::kXor: return "xor";
+    case GateType::kXnor: return "xnor";
+    case GateType::kConst0: return "const0";
+    case GateType::kConst1: return "const1";
+  }
+  throw contract_error("to_string: invalid GateType");
+}
+
+GateType parse_gate_type(const std::string& name) {
+  std::string lower(name.size(), '\0');
+  std::transform(name.begin(), name.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "input") return GateType::kInput;
+  if (lower == "buf" || lower == "buff") return GateType::kBuf;
+  if (lower == "not" || lower == "inv") return GateType::kNot;
+  if (lower == "and") return GateType::kAnd;
+  if (lower == "nand") return GateType::kNand;
+  if (lower == "or") return GateType::kOr;
+  if (lower == "nor") return GateType::kNor;
+  if (lower == "xor") return GateType::kXor;
+  if (lower == "xnor") return GateType::kXnor;
+  if (lower == "const0" || lower == "gnd") return GateType::kConst0;
+  if (lower == "const1" || lower == "vdd") return GateType::kConst1;
+  throw contract_error("parse_gate_type: unknown gate type '" + name + "'");
+}
+
+bool is_inverting(GateType type) {
+  return type == GateType::kNot || type == GateType::kNand ||
+         type == GateType::kNor || type == GateType::kXnor;
+}
+
+int min_fanin(GateType type) {
+  switch (type) {
+    case GateType::kInput:
+    case GateType::kConst0:
+    case GateType::kConst1:
+      return 0;
+    case GateType::kBuf:
+    case GateType::kNot:
+      return 1;
+    default:
+      return 2;
+  }
+}
+
+int max_fanin(GateType type) {
+  switch (type) {
+    case GateType::kInput:
+    case GateType::kConst0:
+    case GateType::kConst1:
+      return 0;
+    case GateType::kBuf:
+    case GateType::kNot:
+      return 1;
+    default:
+      return 1 << 20;  // effectively unbounded
+  }
+}
+
+bool is_multi_input(GateType type) {
+  switch (type) {
+    case GateType::kAnd:
+    case GateType::kNand:
+    case GateType::kOr:
+    case GateType::kNor:
+    case GateType::kXor:
+    case GateType::kXnor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace ndet

@@ -1,0 +1,53 @@
+// gate_type.hpp -- the primitive gate alphabet of the netlist substrate.
+//
+// The set matches what the ISCAS-89 style `.bench` format provides and what
+// the FSM synthesizer emits: inputs, buffers/inverters and the standard
+// multi-input gates.  Fanout branches are *not* gates -- they are modelled as
+// lines in the fault substrate (see faults/line_model.hpp), matching the
+// paper's fault sites 5,6,7,8 on the Figure-1 example circuit.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ndet {
+
+/// Primitive gate kinds supported by the simulator and parsers.
+enum class GateType : std::uint8_t {
+  kInput,  ///< primary input; no fanin
+  kBuf,    ///< identity, 1 fanin
+  kNot,    ///< inverter, 1 fanin
+  kAnd,    ///< >= 2 fanins
+  kNand,   ///< >= 2 fanins
+  kOr,     ///< >= 2 fanins
+  kNor,    ///< >= 2 fanins
+  kXor,    ///< >= 2 fanins (odd parity)
+  kXnor,   ///< >= 2 fanins (even parity)
+  kConst0, ///< constant 0, no fanin (used by synthesized always-off outputs)
+  kConst1, ///< constant 1, no fanin
+};
+
+/// Canonical lower-case name ("and", "nand", ...); inverse of parse_gate_type.
+std::string to_string(GateType type);
+
+/// Parses a gate name as used by the .bench format (case-insensitive).
+/// Throws contract_error for unknown names.
+GateType parse_gate_type(const std::string& name);
+
+/// True for gates whose output is the complement of the same-family base
+/// gate (NAND/NOR/XNOR/NOT).
+bool is_inverting(GateType type);
+
+/// Minimum number of fanins a gate of this type requires.
+int min_fanin(GateType type);
+
+/// Maximum number of fanins (1 for BUF/NOT, 0 for inputs/constants,
+/// unbounded otherwise, represented as a large sentinel).
+int max_fanin(GateType type);
+
+/// True for AND/NAND/OR/NOR/XOR/XNOR -- the gates the paper calls
+/// "multi-input gates", whose outputs are bridging fault sites.
+bool is_multi_input(GateType type);
+
+}  // namespace ndet

@@ -1,0 +1,40 @@
+// ternary.hpp -- three-valued logic for Definition 2.
+//
+// Definition 2 of the paper (from Pomeranz & Reddy, DATE 2001) decides
+// whether two tests ti, tj count as different detections of a fault f by
+// simulating f under the partially-specified vector tij that keeps the bits
+// where ti and tj agree and leaves the rest unspecified (X).  That requires
+// a standard pessimistic three-valued simulation: a gate output is X unless
+// the specified inputs force a definite value (e.g. a 0 on an AND input).
+//
+// Values use the usual two-bit encoding so gate evaluation stays bitwise:
+// a ternary value is a pair (can_be_0, can_be_1); X = (1,1).
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "logic/gate_type.hpp"
+
+namespace ndet {
+
+/// Three-valued logic value.
+enum class Ternary : std::uint8_t { kZero, kOne, kX };
+
+/// Printable form: "0", "1", "X".
+std::string to_string(Ternary value);
+
+/// Lifts a Boolean to Ternary.
+inline Ternary ternary_of(bool bit) {
+  return bit ? Ternary::kOne : Ternary::kZero;
+}
+
+/// True when the value is binary (0 or 1).
+inline bool is_binary(Ternary value) { return value != Ternary::kX; }
+
+/// Evaluates a gate in pessimistic three-valued logic.
+Ternary eval_gate_ternary(GateType type, std::span<const Ternary> fanins);
+
+}  // namespace ndet

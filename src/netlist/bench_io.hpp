@@ -1,0 +1,33 @@
+// bench_io.hpp -- reader/writer for the ISCAS-89 style `.bench` netlist
+// format, the lingua franca of academic test-generation tools (HITEC,
+// Atalanta, ...).  Only the combinational subset is accepted; sequential
+// elements (DFF) are rejected with a clear error since the paper analyzes
+// the combinational logic of the benchmarks.
+//
+// Grammar (case-insensitive keywords, '#' comments):
+//   INPUT(name)
+//   OUTPUT(name)
+//   name = GATE(op1, op2, ...)
+// Signals may be referenced before their defining line; the parser
+// topologically sorts definitions before building the circuit.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/circuit.hpp"
+
+namespace ndet {
+
+/// Parses a .bench netlist from a string.  `name` becomes the circuit name.
+/// Throws contract_error with a line-numbered message on malformed input.
+Circuit parse_bench(const std::string& text, const std::string& name);
+
+/// Reads a .bench netlist from a file path.
+Circuit read_bench_file(const std::string& path);
+
+/// Serializes a circuit to .bench text (topological order, stable).
+std::string write_bench(const Circuit& circuit);
+
+}  // namespace ndet

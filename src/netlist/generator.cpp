@@ -1,0 +1,102 @@
+#include "netlist/generator.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ndet {
+
+Circuit generate_random_circuit(const GeneratorConfig& config,
+                                std::uint64_t seed) {
+  require(config.num_inputs >= 1, "generator: need at least one input");
+  require(config.num_gates >= 1, "generator: need at least one gate");
+  require(config.num_outputs >= 1, "generator: need at least one output");
+  require(config.max_fanin >= 2, "generator: max_fanin must be >= 2");
+  require(config.inverter_fraction >= 0.0 && config.inverter_fraction <= 1.0,
+          "generator: inverter_fraction must lie in [0,1]");
+
+  Rng rng(seed);
+  CircuitBuilder builder("rand_i" + std::to_string(config.num_inputs) + "_g" +
+                         std::to_string(config.num_gates) + "_s" +
+                         std::to_string(seed));
+
+  std::vector<GateId> nodes;
+  for (std::size_t i = 0; i < config.num_inputs; ++i)
+    nodes.push_back(builder.add_input("i" + std::to_string(i)));
+
+  std::vector<GateType> mix{GateType::kAnd, GateType::kNand, GateType::kOr,
+                            GateType::kNor};
+  if (config.use_xor) {
+    mix.push_back(GateType::kXor);
+    mix.push_back(GateType::kXnor);
+  }
+
+  const auto inverter_permille =
+      static_cast<std::uint64_t>(config.inverter_fraction * 1000.0);
+
+  std::vector<GateId> gate_ids;
+  for (std::size_t g = 0; g < config.num_gates; ++g) {
+    const std::string gate_name = "g" + std::to_string(g);
+    GateId id;
+    if (rng.chance(inverter_permille, 1000)) {
+      const GateId src = nodes[rng.below(nodes.size())];
+      id = builder.add_gate(rng.chance(1, 4) ? GateType::kBuf : GateType::kNot,
+                            gate_name, {src});
+    } else {
+      const GateType type = mix[rng.below(mix.size())];
+      const auto fanin_count = static_cast<std::size_t>(
+          rng.in_range(2, static_cast<std::uint64_t>(config.max_fanin)));
+      std::vector<GateId> fanins;
+      for (std::size_t k = 0; k < fanin_count; ++k) {
+        // Bias towards recently created nodes to get depth instead of a
+        // two-level soup.
+        const std::size_t window = std::max<std::size_t>(nodes.size() / 2, 1);
+        const std::size_t lo = nodes.size() - window;
+        const std::size_t pick = rng.chance(2, 3)
+                                     ? lo + rng.below(window)
+                                     : rng.below(nodes.size());
+        fanins.push_back(nodes[pick]);
+      }
+      // Distinct fanins keep gates non-degenerate where possible.
+      std::sort(fanins.begin(), fanins.end());
+      fanins.erase(std::unique(fanins.begin(), fanins.end()), fanins.end());
+      if (fanins.size() < 2) fanins.push_back(nodes[rng.below(nodes.size())]);
+      id = builder.add_gate(type, gate_name, fanins);
+    }
+    nodes.push_back(id);
+    gate_ids.push_back(id);
+  }
+
+  // Outputs: the requested number of random internal gates.
+  std::vector<GateId> chosen;
+  std::vector<GateId> pool = gate_ids;
+  for (std::size_t k = 0; k < config.num_outputs && !pool.empty(); ++k) {
+    const std::size_t pick = rng.below(pool.size());
+    chosen.push_back(pool[pick]);
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pick));
+  }
+  std::sort(chosen.begin(), chosen.end());
+  for (const GateId id : chosen) builder.mark_output(id);
+  Circuit first = builder.build();
+
+  // Second pass: rebuild, promoting every sink-less non-output gate to an
+  // output so that no logic is dead.  (Two-phase keeps the builder simple.)
+  CircuitBuilder second(first.name());
+  for (GateId g = 0; g < first.gate_count(); ++g) {
+    const Gate& gate = first.gate(g);
+    if (gate.type == GateType::kInput) second.add_input(gate.name);
+    else second.add_gate(gate.type, gate.name, gate.fanins);
+  }
+  for (GateId g = 0; g < first.gate_count(); ++g) {
+    const Gate& gate = first.gate(g);
+    const bool needs_observer = gate.fanouts.empty() &&
+                                gate.type != GateType::kInput &&
+                                !first.is_output(g);
+    if (first.is_output(g) || needs_observer) second.mark_output(g);
+  }
+  return second.build();
+}
+
+}  // namespace ndet

@@ -1,0 +1,30 @@
+// generator.hpp -- seeded random combinational circuit generator.
+//
+// Used by property-based tests (structural invariants must hold on any
+// circuit) and by ablation benches that need families of circuits with
+// controlled input counts.  Generation is deterministic in the seed.
+
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/circuit.hpp"
+
+namespace ndet {
+
+/// Parameters of the random circuit family.
+struct GeneratorConfig {
+  std::size_t num_inputs = 6;
+  std::size_t num_gates = 30;    ///< internal gates (excluding inputs)
+  std::size_t num_outputs = 4;   ///< lower bound; sink-less gates become outputs too
+  int max_fanin = 3;             ///< fanin of AND/OR/... gates, >= 2
+  bool use_xor = true;           ///< include XOR/XNOR in the gate mix
+  double inverter_fraction = 0.2;///< fraction of 1-input gates in the mix
+};
+
+/// Generates a random, connected, acyclic circuit.  Every gate lies on a
+/// path to some primary output (sink-less gates are promoted to outputs).
+Circuit generate_random_circuit(const GeneratorConfig& config,
+                                std::uint64_t seed);
+
+}  // namespace ndet

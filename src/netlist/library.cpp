@@ -1,0 +1,220 @@
+#include "netlist/library.hpp"
+
+#include "util/check.hpp"
+
+namespace ndet {
+
+Circuit paper_example() {
+  CircuitBuilder b("paper_example");
+  const GateId in1 = b.add_input("1");
+  const GateId in2 = b.add_input("2");
+  const GateId in3 = b.add_input("3");
+  const GateId in4 = b.add_input("4");
+  const GateId g9 = b.add_gate(GateType::kAnd, "9", {in1, in2});
+  const GateId g10 = b.add_gate(GateType::kAnd, "10", {in2, in3});
+  const GateId g11 = b.add_gate(GateType::kOr, "11", {in3, in4});
+  b.mark_output(g9);
+  b.mark_output(g10);
+  b.mark_output(g11);
+  return b.build();
+}
+
+Circuit c17() {
+  CircuitBuilder b("c17");
+  const GateId n1 = b.add_input("1");
+  const GateId n2 = b.add_input("2");
+  const GateId n3 = b.add_input("3");
+  const GateId n6 = b.add_input("6");
+  const GateId n7 = b.add_input("7");
+  const GateId n10 = b.add_gate(GateType::kNand, "10", {n1, n3});
+  const GateId n11 = b.add_gate(GateType::kNand, "11", {n3, n6});
+  const GateId n16 = b.add_gate(GateType::kNand, "16", {n2, n11});
+  const GateId n19 = b.add_gate(GateType::kNand, "19", {n11, n7});
+  const GateId n22 = b.add_gate(GateType::kNand, "22", {n10, n16});
+  const GateId n23 = b.add_gate(GateType::kNand, "23", {n16, n19});
+  b.mark_output(n22);
+  b.mark_output(n23);
+  return b.build();
+}
+
+Circuit ripple_adder(int n) {
+  require(n >= 1 && n <= 6, "ripple_adder: n must be in [1,6]");
+  CircuitBuilder b("adder" + std::to_string(n));
+  std::vector<GateId> a(static_cast<std::size_t>(n));
+  std::vector<GateId> bb(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) a[static_cast<std::size_t>(i)] = b.add_input("a" + std::to_string(i));
+  for (int i = 0; i < n; ++i) bb[static_cast<std::size_t>(i)] = b.add_input("b" + std::to_string(i));
+  GateId carry = b.add_input("cin");
+  std::vector<GateId> sums;
+  for (int i = 0; i < n; ++i) {
+    const std::string s = std::to_string(i);
+    const auto idx = static_cast<std::size_t>(i);
+    const GateId axb = b.add_gate(GateType::kXor, "axb" + s, {a[idx], bb[idx]});
+    const GateId sum = b.add_gate(GateType::kXor, "s" + s, {axb, carry});
+    const GateId maj1 = b.add_gate(GateType::kAnd, "c_ab" + s, {a[idx], bb[idx]});
+    const GateId maj2 = b.add_gate(GateType::kAnd, "c_x" + s, {axb, carry});
+    carry = b.add_gate(GateType::kOr, "c" + std::to_string(i + 1), {maj1, maj2});
+    sums.push_back(sum);
+  }
+  for (const GateId s : sums) b.mark_output(s);
+  b.mark_output(carry);
+  return b.build();
+}
+
+Circuit mux4() {
+  CircuitBuilder b("mux4");
+  const GateId s0 = b.add_input("s0");
+  const GateId s1 = b.add_input("s1");
+  const GateId d0 = b.add_input("d0");
+  const GateId d1 = b.add_input("d1");
+  const GateId d2 = b.add_input("d2");
+  const GateId d3 = b.add_input("d3");
+  const GateId ns0 = b.add_gate(GateType::kNot, "ns0", {s0});
+  const GateId ns1 = b.add_gate(GateType::kNot, "ns1", {s1});
+  const GateId t0 = b.add_gate(GateType::kAnd, "t0", {ns1, ns0, d0});
+  const GateId t1 = b.add_gate(GateType::kAnd, "t1", {ns1, s0, d1});
+  const GateId t2 = b.add_gate(GateType::kAnd, "t2", {s1, ns0, d2});
+  const GateId t3 = b.add_gate(GateType::kAnd, "t3", {s1, s0, d3});
+  const GateId y = b.add_gate(GateType::kOr, "y", {t0, t1, t2, t3});
+  b.mark_output(y);
+  return b.build();
+}
+
+Circuit parity_tree(int n) {
+  require(n >= 2 && n <= 16, "parity_tree: n must be in [2,16]");
+  CircuitBuilder b("parity" + std::to_string(n));
+  std::vector<GateId> layer;
+  for (int i = 0; i < n; ++i) layer.push_back(b.add_input("x" + std::to_string(i)));
+  int next = 0;
+  while (layer.size() > 1) {
+    std::vector<GateId> reduced;
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2)
+      reduced.push_back(b.add_gate(GateType::kXor, "p" + std::to_string(next++),
+                                   {layer[i], layer[i + 1]}));
+    if (layer.size() % 2 == 1) reduced.push_back(layer.back());
+    layer = std::move(reduced);
+  }
+  b.mark_output(layer[0]);
+  return b.build();
+}
+
+Circuit majority3() {
+  CircuitBuilder b("majority3");
+  const GateId x = b.add_input("x");
+  const GateId y = b.add_input("y");
+  const GateId z = b.add_input("z");
+  const GateId xy = b.add_gate(GateType::kAnd, "xy", {x, y});
+  const GateId yz = b.add_gate(GateType::kAnd, "yz", {y, z});
+  const GateId xz = b.add_gate(GateType::kAnd, "xz", {x, z});
+  const GateId maj = b.add_gate(GateType::kOr, "maj", {xy, yz, xz});
+  b.mark_output(maj);
+  return b.build();
+}
+
+Circuit decoder2x4() {
+  CircuitBuilder b("decoder2x4");
+  const GateId a0 = b.add_input("a0");
+  const GateId a1 = b.add_input("a1");
+  const GateId en = b.add_input("en");
+  const GateId n0 = b.add_gate(GateType::kNot, "n0", {a0});
+  const GateId n1 = b.add_gate(GateType::kNot, "n1", {a1});
+  const GateId y0 = b.add_gate(GateType::kAnd, "y0", {n1, n0, en});
+  const GateId y1 = b.add_gate(GateType::kAnd, "y1", {n1, a0, en});
+  const GateId y2 = b.add_gate(GateType::kAnd, "y2", {a1, n0, en});
+  const GateId y3 = b.add_gate(GateType::kAnd, "y3", {a1, a0, en});
+  b.mark_output(y0);
+  b.mark_output(y1);
+  b.mark_output(y2);
+  b.mark_output(y3);
+  return b.build();
+}
+
+Circuit comparator2() {
+  CircuitBuilder b("comparator2");
+  const GateId a0 = b.add_input("a0");
+  const GateId a1 = b.add_input("a1");
+  const GateId b0 = b.add_input("b0");
+  const GateId b1 = b.add_input("b1");
+  const GateId e1 = b.add_gate(GateType::kXnor, "e1", {a1, b1});
+  const GateId e0 = b.add_gate(GateType::kXnor, "e0", {a0, b0});
+  const GateId eq = b.add_gate(GateType::kAnd, "eq", {e1, e0});
+  const GateId nb1 = b.add_gate(GateType::kNot, "nb1", {b1});
+  const GateId nb0 = b.add_gate(GateType::kNot, "nb0", {b0});
+  const GateId na1 = b.add_gate(GateType::kNot, "na1", {a1});
+  const GateId na0 = b.add_gate(GateType::kNot, "na0", {a0});
+  const GateId g_hi = b.add_gate(GateType::kAnd, "g_hi", {a1, nb1});
+  const GateId g_lo = b.add_gate(GateType::kAnd, "g_lo", {e1, a0, nb0});
+  const GateId gt = b.add_gate(GateType::kOr, "gt", {g_hi, g_lo});
+  const GateId l_hi = b.add_gate(GateType::kAnd, "l_hi", {na1, b1});
+  const GateId l_lo = b.add_gate(GateType::kAnd, "l_lo", {e1, na0, b0});
+  const GateId lt = b.add_gate(GateType::kOr, "lt", {l_hi, l_lo});
+  b.mark_output(lt);
+  b.mark_output(eq);
+  b.mark_output(gt);
+  return b.build();
+}
+
+Circuit alu2() {
+  CircuitBuilder b("alu2");
+  const GateId a0 = b.add_input("a0");
+  const GateId a1 = b.add_input("a1");
+  const GateId b0 = b.add_input("b0");
+  const GateId b1 = b.add_input("b1");
+  const GateId op0 = b.add_input("op0");
+  const GateId op1 = b.add_input("op1");
+
+  // Operation decode: 00 add, 01 and, 10 or, 11 xor.
+  const GateId nop0 = b.add_gate(GateType::kNot, "nop0", {op0});
+  const GateId nop1 = b.add_gate(GateType::kNot, "nop1", {op1});
+  const GateId sel_add = b.add_gate(GateType::kAnd, "sel_add", {nop1, nop0});
+  const GateId sel_and = b.add_gate(GateType::kAnd, "sel_and", {nop1, op0});
+  const GateId sel_or = b.add_gate(GateType::kAnd, "sel_or", {op1, nop0});
+  const GateId sel_xor = b.add_gate(GateType::kAnd, "sel_xor", {op1, op0});
+
+  // Datapath units.
+  const GateId add0 = b.add_gate(GateType::kXor, "add0", {a0, b0});
+  const GateId carry0 = b.add_gate(GateType::kAnd, "carry0", {a0, b0});
+  const GateId add1 = b.add_gate(GateType::kXor, "add1", {a1, b1, carry0});
+  const GateId and0 = b.add_gate(GateType::kAnd, "and0", {a0, b0});
+  const GateId and1 = b.add_gate(GateType::kAnd, "and1", {a1, b1});
+  const GateId or0 = b.add_gate(GateType::kOr, "or0", {a0, b0});
+  const GateId or1 = b.add_gate(GateType::kOr, "or1", {a1, b1});
+  const GateId xor0 = b.add_gate(GateType::kXor, "xor0", {a0, b0});
+  const GateId xor1 = b.add_gate(GateType::kXor, "xor1", {a1, b1});
+
+  // Result muxes.
+  const auto mux = [&](const std::string& name, GateId add, GateId an,
+                       GateId orr, GateId xo) {
+    const GateId m0 = b.add_gate(GateType::kAnd, name + "_madd", {sel_add, add});
+    const GateId m1 = b.add_gate(GateType::kAnd, name + "_mand", {sel_and, an});
+    const GateId m2 = b.add_gate(GateType::kAnd, name + "_mor", {sel_or, orr});
+    const GateId m3 = b.add_gate(GateType::kAnd, name + "_mxor", {sel_xor, xo});
+    return b.add_gate(GateType::kOr, name, {m0, m1, m2, m3});
+  };
+  const GateId r0 = mux("r0", add0, and0, or0, xor0);
+  const GateId r1 = mux("r1", add1, and1, or1, xor1);
+  b.mark_output(r0);
+  b.mark_output(r1);
+  return b.build();
+}
+
+std::vector<std::string> combinational_library_names() {
+  return {"paper_example", "c17",     "adder2",      "adder3", "mux4",
+          "parity8",       "majority3", "decoder2x4", "comparator2", "alu2"};
+}
+
+Circuit combinational_library(const std::string& name) {
+  if (name == "paper_example") return paper_example();
+  if (name == "c17") return c17();
+  if (name == "adder2") return ripple_adder(2);
+  if (name == "adder3") return ripple_adder(3);
+  if (name == "mux4") return mux4();
+  if (name == "parity8") return parity_tree(8);
+  if (name == "majority3") return majority3();
+  if (name == "decoder2x4") return decoder2x4();
+  if (name == "comparator2") return comparator2();
+  if (name == "alu2") return alu2();
+  throw contract_error("combinational_library: unknown circuit '" + name + "'");
+}
+
+}  // namespace ndet

@@ -1,0 +1,56 @@
+// library.hpp -- embedded combinational circuits.
+//
+// `paper_example()` is the Figure-1 circuit of the paper, reconstructed and
+// validated against Table 1 (see DESIGN.md §1): inputs 1-4, gates
+// 9 = AND(1,2), 10 = AND(2,3), 11 = OR(3,4), all three gate outputs primary
+// outputs.  Input 2 branches into lines 5,6 and input 3 into lines 7,8 in
+// the line model, matching the paper's fault sites exactly.
+//
+// The remaining circuits are classic hand-written blocks (ISCAS-85 c17,
+// adders, multiplexers, parity and majority trees, a 2-bit ALU slice) used
+// as oracles in tests and as additional workloads in benches.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+
+namespace ndet {
+
+/// The paper's Figure-1 example circuit (names "1".."4", "9".."11").
+Circuit paper_example();
+
+/// ISCAS-85 c17 (6 NAND gates, 5 inputs, 2 outputs).
+Circuit c17();
+
+/// n-bit ripple-carry adder: inputs a0..a(n-1), b0..b(n-1), cin;
+/// outputs s0..s(n-1), cout.  Requires 1 <= n <= 6 (exhaustive analysis).
+Circuit ripple_adder(int n);
+
+/// 4-to-1 multiplexer (2 select lines, 4 data lines).
+Circuit mux4();
+
+/// n-input XOR parity tree; requires 2 <= n <= 16.
+Circuit parity_tree(int n);
+
+/// 3-input majority voter.
+Circuit majority3();
+
+/// 2-to-4 decoder with enable.
+Circuit decoder2x4();
+
+/// 2-bit magnitude comparator (outputs lt, eq, gt).
+Circuit comparator2();
+
+/// 2-bit ALU slice: operation select {00 add, 01 and, 10 or, 11 xor}.
+Circuit alu2();
+
+/// Names of all embedded combinational circuits.
+std::vector<std::string> combinational_library_names();
+
+/// Looks up an embedded circuit by name; throws for unknown names.
+Circuit combinational_library(const std::string& name);
+
+}  // namespace ndet

@@ -1,0 +1,98 @@
+#include "netlist/lines.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace ndet {
+
+namespace {
+
+/// All (sink, slot) connections fed by `gate`, ordered by sink id then slot.
+std::vector<std::pair<GateId, int>> connections_of(const Circuit& circuit,
+                                                   GateId gate) {
+  std::vector<std::pair<GateId, int>> connections;
+  for (const GateId sink : circuit.gate(gate).fanouts) {
+    const auto& fanins = circuit.gate(sink).fanins;
+    for (int slot = 0; slot < static_cast<int>(fanins.size()); ++slot)
+      if (fanins[static_cast<std::size_t>(slot)] == gate)
+        connections.emplace_back(sink, slot);
+  }
+  std::sort(connections.begin(), connections.end());
+  connections.erase(std::unique(connections.begin(), connections.end()),
+                    connections.end());
+  return connections;
+}
+
+}  // namespace
+
+LineModel::LineModel(const Circuit& circuit) : circuit_(&circuit) {
+  stem_of_.assign(circuit.gate_count(), 0);
+  connection_line_.resize(circuit.gate_count());
+  for (GateId g = 0; g < circuit.gate_count(); ++g)
+    connection_line_[g].assign(circuit.gate(g).fanins.size(), 0);
+
+  const auto add_stem = [&](GateId g) {
+    stem_of_[g] = static_cast<LineId>(lines_.size());
+    lines_.push_back(Line{LineKind::kStem, g, kInvalidGate, -1,
+                          circuit.gate(g).name});
+  };
+
+  const auto add_branches = [&](GateId g) {
+    const auto connections = connections_of(circuit, g);
+    if (connections.size() < 2) {
+      // Single connection: the stem itself carries it.
+      for (const auto& [sink, slot] : connections)
+        connection_line_[sink][static_cast<std::size_t>(slot)] = stem_of_[g];
+      return;
+    }
+    for (const auto& [sink, slot] : connections) {
+      const auto id = static_cast<LineId>(lines_.size());
+      Line line;
+      line.kind = LineKind::kBranch;
+      line.driver = g;
+      line.sink = sink;
+      line.sink_slot = slot;
+      line.name = circuit.gate(g).name + "->" + circuit.gate(sink).name + "[" +
+                  std::to_string(slot) + "]";
+      lines_.push_back(std::move(line));
+      connection_line_[sink][static_cast<std::size_t>(slot)] = id;
+    }
+  };
+
+  // Stage 1: primary input stems.
+  for (const GateId g : circuit.inputs()) add_stem(g);
+  // Stage 2: branches of primary inputs.
+  for (const GateId g : circuit.inputs()) add_branches(g);
+  // Stage 3: internal gates in topological order: stem, then branches.
+  for (GateId g = 0; g < circuit.gate_count(); ++g) {
+    if (circuit.gate(g).type == GateType::kInput) continue;
+    add_stem(g);
+    add_branches(g);
+  }
+}
+
+const Line& LineModel::line(LineId id) const {
+  require(id < lines_.size(), "LineModel::line: id out of range");
+  return lines_[id];
+}
+
+LineId LineModel::stem_of(GateId gate) const {
+  require(gate < stem_of_.size(), "LineModel::stem_of: gate out of range");
+  return stem_of_[gate];
+}
+
+LineId LineModel::line_for_connection(GateId sink, int slot) const {
+  require(sink < connection_line_.size(),
+          "LineModel::line_for_connection: sink out of range");
+  const auto& slots = connection_line_[sink];
+  require(slot >= 0 && static_cast<std::size_t>(slot) < slots.size(),
+          "LineModel::line_for_connection: slot out of range");
+  return slots[static_cast<std::size_t>(slot)];
+}
+
+std::size_t LineModel::connection_count(GateId gate) const {
+  return connections_of(*circuit_, gate).size();
+}
+
+}  // namespace ndet

@@ -1,0 +1,72 @@
+// lines.hpp -- the circuit's line (fault-site) model: stems and branches.
+//
+// Single stuck-at faults live on *lines*: the output stem of every gate
+// (including primary inputs) and, for stems with two or more fanout
+// connections, one branch line per connection.  This matches the paper's
+// Figure-1 example, where lines 1-4 are the inputs, 5,6 are the branches of
+// input 2, 7,8 are the branches of input 3, and 9-11 are the gate outputs.
+//
+// Line ordering (which fixes fault enumeration order and therefore the fault
+// indices of the paper's Table 1):
+//   1. primary input stems, in input declaration order;
+//   2. branches of primary inputs, grouped by input, each group ordered by
+//      (sink gate id, sink fanin slot);
+//   3. remaining gates in topological order: stem, then its branches.
+//
+// A primary output observes its stem directly and does not create a branch.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+
+namespace ndet {
+
+/// Index of a line inside a LineModel.
+using LineId = std::uint32_t;
+
+/// Stem = a gate's output net; branch = one fanout connection of a stem that
+/// has two or more fanout connections.
+enum class LineKind : std::uint8_t { kStem, kBranch };
+
+/// One fault site.
+struct Line {
+  LineKind kind = LineKind::kStem;
+  GateId driver = kInvalidGate;  ///< gate whose output carries the value
+  GateId sink = kInvalidGate;    ///< branch only: consuming gate
+  int sink_slot = -1;            ///< branch only: fanin index within sink
+  std::string name;              ///< stem: gate name; branch: "driver->sink[slot]"
+};
+
+/// Enumerates and indexes all lines of a circuit.
+class LineModel {
+ public:
+  explicit LineModel(const Circuit& circuit);
+
+  const Circuit& circuit() const { return *circuit_; }
+
+  std::size_t line_count() const { return lines_.size(); }
+  const Line& line(LineId id) const;
+
+  /// Stem line of gate `gate`.
+  LineId stem_of(GateId gate) const;
+
+  /// Line carrying the value into fanin slot `slot` of gate `sink`: the
+  /// branch line when the driving stem branches, otherwise the stem itself.
+  LineId line_for_connection(GateId sink, int slot) const;
+
+  /// Number of fanout connections of a gate's stem (fanin uses only; primary
+  /// output observation does not count).
+  std::size_t connection_count(GateId gate) const;
+
+ private:
+  const Circuit* circuit_;
+  std::vector<Line> lines_;
+  std::vector<LineId> stem_of_;                       // by gate id
+  std::vector<std::vector<LineId>> connection_line_;  // [sink][slot]
+};
+
+}  // namespace ndet

@@ -1,0 +1,36 @@
+#include "netlist/reach.hpp"
+
+#include "util/check.hpp"
+
+namespace ndet {
+
+ReachMatrix::ReachMatrix(const Circuit& circuit) {
+  const std::size_t n = circuit.gate_count();
+  reach_.assign(n, Bitset(n));
+  // Gates are topologically ordered, so a reverse sweep sees every fanout's
+  // transitive fanout before the gate itself.
+  for (std::size_t i = n; i-- > 0;) {
+    const auto g = static_cast<GateId>(i);
+    for (const GateId f : circuit.gate(g).fanouts) {
+      reach_[g].set(f);
+      reach_[g] |= reach_[f];
+    }
+  }
+}
+
+bool ReachMatrix::reaches(GateId from, GateId to) const {
+  require(from < reach_.size() && to < reach_.size(),
+          "ReachMatrix::reaches: gate out of range");
+  return reach_[from].test(to);
+}
+
+bool ReachMatrix::independent(GateId a, GateId b) const {
+  return !reaches(a, b) && !reaches(b, a);
+}
+
+const Bitset& ReachMatrix::fanout_cone(GateId gate) const {
+  require(gate < reach_.size(), "ReachMatrix::fanout_cone: gate out of range");
+  return reach_[gate];
+}
+
+}  // namespace ndet

@@ -1,0 +1,38 @@
+// reach.hpp -- structural reachability between gates.
+//
+// The paper restricts the untargeted fault set G to *non-feedback* bridging
+// faults: pairs of lines with no structural path between them in either
+// direction, so that shorting them keeps the circuit combinational.  The
+// ReachMatrix answers "is there a path from gate a to gate b" in O(1) after
+// an O(gates * edges / 64) reverse-topological sweep.
+
+#pragma once
+
+#include <vector>
+
+#include "netlist/circuit.hpp"
+#include "util/bitset.hpp"
+
+namespace ndet {
+
+/// Transitive-fanout matrix of a circuit.
+class ReachMatrix {
+ public:
+  explicit ReachMatrix(const Circuit& circuit);
+
+  /// True when a directed path of length >= 1 exists from `from` to `to`.
+  bool reaches(GateId from, GateId to) const;
+
+  /// True when the two gates are structurally independent (no path in either
+  /// direction) -- the paper's non-feedback condition for a bridging pair.
+  bool independent(GateId a, GateId b) const;
+
+  /// The set of gates in the transitive fanout of `gate` (excluding itself
+  /// unless the circuit is cyclic, which the builder forbids).
+  const Bitset& fanout_cone(GateId gate) const;
+
+ private:
+  std::vector<Bitset> reach_;  // reach_[g] = transitive fanout of g
+};
+
+}  // namespace ndet

@@ -1,0 +1,40 @@
+#include "netlist/stats.hpp"
+
+#include <sstream>
+
+namespace ndet {
+
+CircuitStats compute_stats(const Circuit& circuit) {
+  CircuitStats stats;
+  stats.name = circuit.name();
+  stats.inputs = circuit.input_count();
+  stats.outputs = circuit.output_count();
+  stats.depth = circuit.depth();
+  for (GateId g = 0; g < circuit.gate_count(); ++g) {
+    const Gate& gate = circuit.gate(g);
+    if (gate.type != GateType::kInput) {
+      ++stats.gates;
+      ++stats.gates_by_type[to_string(gate.type)];
+    }
+    if (is_multi_input(gate.type)) ++stats.multi_input_gates;
+  }
+  const LineModel lines(circuit);
+  stats.lines = lines.line_count();
+  for (LineId l = 0; l < lines.line_count(); ++l)
+    if (lines.line(l).kind == LineKind::kBranch) ++stats.branches;
+  return stats;
+}
+
+std::string to_string(const CircuitStats& stats) {
+  std::ostringstream os;
+  os << stats.name << ": " << stats.inputs << " inputs, " << stats.outputs
+     << " outputs, " << stats.gates << " gates (depth " << stats.depth
+     << "), " << stats.lines << " fault-site lines (" << stats.branches
+     << " branches), " << stats.multi_input_gates
+     << " multi-input gates; mix:";
+  for (const auto& [type, count] : stats.gates_by_type)
+    os << ' ' << type << '=' << count;
+  return os.str();
+}
+
+}  // namespace ndet

@@ -1,0 +1,32 @@
+// stats.hpp -- summary statistics of a circuit, for reports and examples.
+
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "netlist/circuit.hpp"
+#include "netlist/lines.hpp"
+
+namespace ndet {
+
+/// Aggregate structural statistics.
+struct CircuitStats {
+  std::string name;
+  std::size_t inputs = 0;
+  std::size_t outputs = 0;
+  std::size_t gates = 0;       ///< internal gates (excluding inputs)
+  std::size_t lines = 0;       ///< stems + branches (fault sites)
+  std::size_t branches = 0;    ///< branch lines only
+  std::size_t multi_input_gates = 0;  ///< bridging-fault site gates
+  int depth = 0;
+  std::map<std::string, std::size_t> gates_by_type;
+};
+
+/// Computes statistics for `circuit`.
+CircuitStats compute_stats(const Circuit& circuit);
+
+/// One-paragraph human-readable rendering.
+std::string to_string(const CircuitStats& stats);
+
+}  // namespace ndet

@@ -1,0 +1,27 @@
+#include "sim/cone.hpp"
+
+#include <algorithm>
+
+namespace ndet {
+
+std::vector<GateId> fanout_cone_gates(const Circuit& circuit, GateId root) {
+  std::vector<bool> seen(circuit.gate_count(), false);
+  std::vector<GateId> stack{root};
+  seen[root] = true;
+  std::vector<GateId> affected;
+  while (!stack.empty()) {
+    const GateId g = stack.back();
+    stack.pop_back();
+    affected.push_back(g);
+    for (const GateId f : circuit.gate(g).fanouts) {
+      if (!seen[f]) {
+        seen[f] = true;
+        stack.push_back(f);
+      }
+    }
+  }
+  std::sort(affected.begin(), affected.end());
+  return affected;
+}
+
+}  // namespace ndet

@@ -1,0 +1,14 @@
+// cone.hpp -- shared helper: the gates to resimulate after a value change.
+
+#pragma once
+
+#include <vector>
+
+#include "netlist/circuit.hpp"
+
+namespace ndet {
+
+/// `root` plus its transitive fanout, in ascending (topological) order.
+std::vector<GateId> fanout_cone_gates(const Circuit& circuit, GateId root);
+
+}  // namespace ndet

@@ -1,0 +1,151 @@
+#include "sim/reference.hpp"
+
+#include "util/check.hpp"
+
+namespace ndet {
+
+namespace {
+
+bool input_bit(const Circuit& circuit, GateId gate, std::uint64_t v) {
+  const std::size_t pi = circuit.input_count();
+  const std::size_t index = circuit.input_index(gate);
+  return (v >> (pi - 1 - index)) & 1u;
+}
+
+/// Evaluates one gate from explicit fanin values, by case analysis that is
+/// intentionally written differently from logic/eval.cpp.
+bool eval_naive(GateType type, const std::vector<bool>& fanins) {
+  switch (type) {
+    case GateType::kBuf:
+      return fanins.at(0);
+    case GateType::kNot:
+      return !fanins.at(0);
+    case GateType::kAnd: {
+      for (const bool b : fanins)
+        if (!b) return false;
+      return true;
+    }
+    case GateType::kNand: {
+      for (const bool b : fanins)
+        if (!b) return true;
+      return false;
+    }
+    case GateType::kOr: {
+      for (const bool b : fanins)
+        if (b) return true;
+      return false;
+    }
+    case GateType::kNor: {
+      for (const bool b : fanins)
+        if (b) return false;
+      return true;
+    }
+    case GateType::kXor: {
+      int ones = 0;
+      for (const bool b : fanins) ones += b ? 1 : 0;
+      return ones % 2 == 1;
+    }
+    case GateType::kXnor: {
+      int ones = 0;
+      for (const bool b : fanins) ones += b ? 1 : 0;
+      return ones % 2 == 0;
+    }
+    default:
+      throw contract_error("reference: gate type has no fanin evaluation");
+  }
+}
+
+}  // namespace
+
+std::vector<bool> reference_good_values(const Circuit& circuit,
+                                        std::uint64_t v) {
+  require(v < circuit.vector_space_size(), "reference: vector out of range");
+  std::vector<bool> values(circuit.gate_count(), false);
+  for (GateId g = 0; g < circuit.gate_count(); ++g) {
+    const Gate& gate = circuit.gate(g);
+    if (gate.type == GateType::kInput) values[g] = input_bit(circuit, g, v);
+    else if (gate.type == GateType::kConst0) values[g] = false;
+    else if (gate.type == GateType::kConst1) values[g] = true;
+    else {
+      std::vector<bool> fanins;
+      for (const GateId fi : gate.fanins) fanins.push_back(values[fi]);
+      values[g] = eval_naive(gate.type, fanins);
+    }
+  }
+  return values;
+}
+
+std::vector<bool> reference_faulty_values(const LineModel& lines,
+                                          const StuckAtFault& fault,
+                                          std::uint64_t v) {
+  const Circuit& circuit = lines.circuit();
+  const Line& line = lines.line(fault.line);
+  std::vector<bool> values(circuit.gate_count(), false);
+  for (GateId g = 0; g < circuit.gate_count(); ++g) {
+    const Gate& gate = circuit.gate(g);
+    if (gate.type == GateType::kInput) values[g] = input_bit(circuit, g, v);
+    else if (gate.type == GateType::kConst0) values[g] = false;
+    else if (gate.type == GateType::kConst1) values[g] = true;
+    else {
+      std::vector<bool> fanins;
+      for (std::size_t s = 0; s < gate.fanins.size(); ++s) {
+        bool value = values[gate.fanins[s]];
+        if (line.kind == LineKind::kBranch && g == line.sink &&
+            static_cast<int>(s) == line.sink_slot)
+          value = fault.stuck_value;
+        fanins.push_back(value);
+      }
+      values[g] = eval_naive(gate.type, fanins);
+    }
+    // A stem fault overrides the gate's own output (inputs included).
+    if (line.kind == LineKind::kStem && g == line.driver)
+      values[g] = fault.stuck_value;
+  }
+  return values;
+}
+
+std::vector<bool> reference_faulty_values(const Circuit& circuit,
+                                          const BridgingFault& fault,
+                                          std::uint64_t v) {
+  // Non-feedback pairs let us compute the aggressor's value from the
+  // fault-free circuit first, then resimulate with the victim overridden.
+  const std::vector<bool> good = reference_good_values(circuit, v);
+  const bool aggressor_active =
+      good[fault.aggressor] == fault.aggressor_value;
+  std::vector<bool> values(circuit.gate_count(), false);
+  for (GateId g = 0; g < circuit.gate_count(); ++g) {
+    const Gate& gate = circuit.gate(g);
+    if (gate.type == GateType::kInput) values[g] = input_bit(circuit, g, v);
+    else if (gate.type == GateType::kConst0) values[g] = false;
+    else if (gate.type == GateType::kConst1) values[g] = true;
+    else {
+      std::vector<bool> fanins;
+      for (const GateId fi : gate.fanins) fanins.push_back(values[fi]);
+      values[g] = eval_naive(gate.type, fanins);
+    }
+    if (g == fault.victim && aggressor_active)
+      values[g] = fault.aggressor_value;
+  }
+  return values;
+}
+
+bool reference_detects(const LineModel& lines, const StuckAtFault& fault,
+                       std::uint64_t v) {
+  const Circuit& circuit = lines.circuit();
+  const std::vector<bool> good = reference_good_values(circuit, v);
+  const std::vector<bool> bad = reference_faulty_values(lines, fault, v);
+  for (const GateId po : circuit.outputs())
+    if (good[po] != bad[po]) return true;
+  return false;
+}
+
+bool reference_detects(const Circuit& circuit, const BridgingFault& fault,
+                       std::uint64_t v) {
+  const std::vector<bool> good = reference_good_values(circuit, v);
+  const std::vector<bool> bad = reference_faulty_values(circuit, fault, v);
+  for (const GateId po : circuit.outputs())
+    if (good[po] != bad[po]) return true;
+  return false;
+}
+
+}  // namespace ndet

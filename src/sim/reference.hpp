@@ -1,0 +1,47 @@
+// reference.hpp -- a deliberately naive, independent reference simulator.
+//
+// Everything here recomputes values gate by gate for a single vector with
+// no packing, no cone pruning and no shared code with the production
+// simulator.  Its only purpose is cross-validation: property tests compare
+// the bit-parallel exhaustive simulator and both fault models against this
+// second implementation path on randomly generated circuits, so a bug would
+// have to be introduced twice, in two different shapes, to go unnoticed.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "faults/bridging.hpp"
+#include "faults/stuck_at.hpp"
+#include "netlist/lines.hpp"
+
+namespace ndet {
+
+/// Fault-free value of every gate under input vector `v` (first declared
+/// input = most significant bit of `v`).
+std::vector<bool> reference_good_values(const Circuit& circuit,
+                                        std::uint64_t v);
+
+/// Values of every gate in the faulty circuit under a stuck-at fault.
+std::vector<bool> reference_faulty_values(const LineModel& lines,
+                                          const StuckAtFault& fault,
+                                          std::uint64_t v);
+
+/// Values of every gate in the faulty circuit under a bridging fault
+/// (victim forced to the aggressor's value when the aggressor carries its
+/// activating value).
+std::vector<bool> reference_faulty_values(const Circuit& circuit,
+                                          const BridgingFault& fault,
+                                          std::uint64_t v);
+
+/// True when the stuck-at fault is detected by vector `v` (some primary
+/// output differs).
+bool reference_detects(const LineModel& lines, const StuckAtFault& fault,
+                       std::uint64_t v);
+
+/// True when the bridging fault is detected by vector `v`.
+bool reference_detects(const Circuit& circuit, const BridgingFault& fault,
+                       std::uint64_t v);
+
+}  // namespace ndet

@@ -1,0 +1,102 @@
+#include "util/bitset.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace ndet {
+
+std::size_t Bitset::count() const {
+  std::size_t total = 0;
+  for (const word_type w : words_) total += static_cast<std::size_t>(std::popcount(w));
+  return total;
+}
+
+bool Bitset::none() const {
+  return std::all_of(words_.begin(), words_.end(),
+                     [](word_type w) { return w == 0; });
+}
+
+Bitset& Bitset::operator|=(const Bitset& other) {
+  require_same_size(other, "operator|=");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+Bitset& Bitset::operator&=(const Bitset& other) {
+  require_same_size(other, "operator&=");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+Bitset& Bitset::and_not(const Bitset& other) {
+  require_same_size(other, "and_not");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  return *this;
+}
+
+std::size_t Bitset::intersect_count(const Bitset& other) const {
+  require_same_size(other, "intersect_count");
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    total += static_cast<std::size_t>(std::popcount(words_[i] & other.words_[i]));
+  return total;
+}
+
+bool Bitset::intersects(const Bitset& other) const {
+  require_same_size(other, "intersects");
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  return false;
+}
+
+std::size_t Bitset::and_not_count(const Bitset& other) const {
+  require_same_size(other, "and_not_count");
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    total += static_cast<std::size_t>(std::popcount(words_[i] & ~other.words_[i]));
+  return total;
+}
+
+namespace {
+
+/// Index of the `rank`-th (0-based) set bit of `word`; rank < popcount(word).
+int nth_set_bit_in_word(Bitset::word_type word, std::size_t rank) {
+  for (std::size_t k = 0; k < rank; ++k) word &= word - 1;
+  return __builtin_ctzll(word);
+}
+
+}  // namespace
+
+std::size_t Bitset::nth_in_difference(const Bitset& other,
+                                      std::size_t rank) const {
+  require_same_size(other, "nth_in_difference");
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    const word_type diff = words_[i] & ~other.words_[i];
+    const auto in_word = static_cast<std::size_t>(std::popcount(diff));
+    if (rank < in_word)
+      return i * kWordBits +
+             static_cast<std::size_t>(nth_set_bit_in_word(diff, rank));
+    rank -= in_word;
+  }
+  throw contract_error("Bitset::nth_in_difference: rank out of range");
+}
+
+std::size_t Bitset::nth_set(std::size_t rank) const {
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    const auto in_word = static_cast<std::size_t>(std::popcount(words_[i]));
+    if (rank < in_word)
+      return i * kWordBits +
+             static_cast<std::size_t>(nth_set_bit_in_word(words_[i], rank));
+    rank -= in_word;
+  }
+  throw contract_error("Bitset::nth_set: rank out of range");
+}
+
+std::vector<std::size_t> Bitset::to_vector() const {
+  std::vector<std::size_t> out;
+  out.reserve(count());
+  for_each_set([&](std::size_t i) { out.push_back(i); });
+  return out;
+}
+
+}  // namespace ndet

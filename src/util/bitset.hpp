@@ -1,0 +1,133 @@
+// bitset.hpp -- a dynamically sized bitset tuned for detection sets.
+//
+// The whole analysis of the paper operates on subsets of U, the set of all
+// input vectors of a circuit.  Those subsets (T(f), T(g), test sets under
+// construction) are represented as Bitset instances of |U| bits.  Besides the
+// usual set operations the class provides the primitives Procedure 1 and the
+// worst-case analysis need:
+//
+//   * intersection cardinality without materializing the intersection
+//     (M(g,f) = |T(f) & T(g)|),
+//   * "does T(f) intersect T(g)" early-exit test,
+//   * selection of the r-th member of (A \ B) for uniform random sampling of
+//     a test out of T(f)-Tk.
+//
+// Bits are stored little-endian in 64-bit words; all operations require equal
+// sizes (checked), mirroring the fact that every set lives over the same U.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ndet {
+
+/// Dynamically sized bitset over a fixed universe of `size()` elements.
+class Bitset {
+ public:
+  using word_type = std::uint64_t;
+  static constexpr std::size_t kWordBits = 64;
+
+  /// Creates an empty (all-zero) set over a universe of `size_bits` elements.
+  explicit Bitset(std::size_t size_bits = 0)
+      : size_(size_bits), words_((size_bits + kWordBits - 1) / kWordBits, 0) {}
+
+  /// Number of elements in the universe (not the number of set bits).
+  std::size_t size() const { return size_; }
+
+  /// Number of 64-bit words backing the set.
+  std::size_t word_count() const { return words_.size(); }
+
+  /// Direct read access to the backing words (for bulk kernels).
+  const word_type* words() const { return words_.data(); }
+  word_type* words() { return words_.data(); }
+
+  /// Adds element `i` to the set.
+  void set(std::size_t i) {
+    require(i < size_, "Bitset::set: index out of range");
+    words_[i / kWordBits] |= word_type{1} << (i % kWordBits);
+  }
+
+  /// Removes element `i` from the set.
+  void reset(std::size_t i) {
+    require(i < size_, "Bitset::reset: index out of range");
+    words_[i / kWordBits] &= ~(word_type{1} << (i % kWordBits));
+  }
+
+  /// Membership test.
+  bool test(std::size_t i) const {
+    require(i < size_, "Bitset::test: index out of range");
+    return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
+  }
+
+  /// Removes all elements.
+  void clear() { std::fill(words_.begin(), words_.end(), word_type{0}); }
+
+  /// Number of elements currently in the set.
+  std::size_t count() const;
+
+  /// True when the set is empty.
+  bool none() const;
+
+  /// True when at least one element is present.
+  bool any() const { return !none(); }
+
+  /// In-place union / intersection / difference.
+  Bitset& operator|=(const Bitset& other);
+  Bitset& operator&=(const Bitset& other);
+  /// this = this \ other.
+  Bitset& and_not(const Bitset& other);
+
+  friend Bitset operator|(Bitset a, const Bitset& b) { return a |= b; }
+  friend Bitset operator&(Bitset a, const Bitset& b) { return a &= b; }
+
+  bool operator==(const Bitset& other) const = default;
+
+  /// |this & other| without materializing the intersection.
+  std::size_t intersect_count(const Bitset& other) const;
+
+  /// True when this and `other` share at least one element (early exit).
+  bool intersects(const Bitset& other) const;
+
+  /// |this \ other|.
+  std::size_t and_not_count(const Bitset& other) const;
+
+  /// Returns the element of (this \ other) with rank `rank` (0-based, in
+  /// increasing element order).  Precondition: rank < and_not_count(other).
+  /// This is the sampling primitive of Procedure 1: picking a uniformly
+  /// random test out of T(f) - Tk.
+  std::size_t nth_in_difference(const Bitset& other, std::size_t rank) const;
+
+  /// Returns the element with rank `rank` among the set bits.
+  std::size_t nth_set(std::size_t rank) const;
+
+  /// Calls `fn(index)` for every element in increasing order.
+  template <typename Fn>
+  void for_each_set(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      word_type word = words_[w];
+      while (word != 0) {
+        const int bit = __builtin_ctzll(word);
+        fn(w * kWordBits + static_cast<std::size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// Collects the elements into a vector (ascending order).
+  std::vector<std::size_t> to_vector() const;
+
+ private:
+  void require_same_size(const Bitset& other, const char* op) const {
+    require(size_ == other.size_, std::string("Bitset::") + op +
+                                      ": size mismatch between operands");
+  }
+
+  std::size_t size_;
+  std::vector<word_type> words_;
+};
+
+}  // namespace ndet

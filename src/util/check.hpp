@@ -1,0 +1,28 @@
+// check.hpp -- lightweight precondition / invariant helpers.
+//
+// Per the C++ Core Guidelines (I.5/I.6, E.12), user-input and API-contract
+// violations throw exceptions carrying a descriptive message, while internal
+// invariants use assertions.  `require` is for contract checks that must stay
+// active in release builds (parser errors, API misuse); failures are
+// programming or input errors, not recoverable conditions.
+
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ndet {
+
+/// Thrown when an API precondition is violated (bad argument, malformed
+/// input file, out-of-range fault index, ...).
+class contract_error : public std::logic_error {
+ public:
+  explicit contract_error(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Throws contract_error with `message` when `condition` is false.
+inline void require(bool condition, const std::string& message) {
+  if (!condition) throw contract_error(message);
+}
+
+}  // namespace ndet

@@ -1,0 +1,42 @@
+// cli.hpp -- minimal command line option parsing for examples and benches.
+//
+// All experiment binaries accept overrides such as --k=1000 or --seed=7 so
+// that the paper's parameters (K = 10000 test sets, nmax = 10) can be traded
+// against runtime.  Only `--name=value` and bare positional arguments are
+// supported; unknown options raise a contract_error listing the valid names.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace ndet {
+
+/// Parsed command line: named `--key=value` options plus positionals.
+class CliArgs {
+ public:
+  /// Parses argv; `known` lists the accepted option names (without dashes).
+  CliArgs(int argc, const char* const* argv, std::set<std::string> known);
+
+  /// True when --name was supplied.
+  bool has(const std::string& name) const;
+
+  /// String option with default.
+  std::string get(const std::string& name, const std::string& fallback) const;
+
+  /// Unsigned integer option with default (throws on non-numeric values).
+  std::uint64_t get_u64(const std::string& name, std::uint64_t fallback) const;
+
+  /// Positional arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+  std::set<std::string> known_;
+};
+
+}  // namespace ndet

@@ -1,0 +1,41 @@
+// rng.hpp -- deterministic, portable random number generation.
+//
+// Every randomized component in the repository (Procedure 1, the synthetic
+// FSM generator, the random netlist generator) takes an explicit 64-bit seed
+// and draws from this generator, so all tables in the paper reproduction are
+// bit-for-bit reproducible across platforms.  The standard <random>
+// distributions are not portable across library implementations, hence the
+// self-contained xoshiro256** generator (Blackman & Vigna) seeded through
+// splitmix64, with Lemire's unbiased bounded sampling.
+
+#pragma once
+
+#include <cstdint>
+
+namespace ndet {
+
+/// xoshiro256** pseudo random generator with splitmix64 seeding.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Next uniformly distributed 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform value in [0, bound); bound must be > 0.  Unbiased.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform value in [lo, hi] inclusive; requires lo <= hi.
+  std::uint64_t in_range(std::uint64_t lo, std::uint64_t hi);
+
+  /// Bernoulli trial with probability `numerator / denominator`.
+  bool chance(std::uint64_t numerator, std::uint64_t denominator);
+
+  /// Derives an independent child generator (for per-test-set streams).
+  Rng split();
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace ndet

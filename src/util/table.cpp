@@ -1,0 +1,79 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace ndet {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)), aligns_(headers_.size(), Align::kRight) {
+  require(!headers_.empty(), "TextTable: need at least one column");
+  aligns_[0] = Align::kLeft;
+}
+
+void TextTable::set_align(std::size_t col, Align align) {
+  require(col < aligns_.size(), "TextTable::set_align: column out of range");
+  aligns_[col] = align;
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  require(cells.size() == headers_.size(),
+          "TextTable::add_row: cell count does not match header count");
+  rows_.push_back(Row{false, std::move(cells)});
+}
+
+void TextTable::add_separator() { rows_.push_back(Row{true, {}}); }
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c)
+      widths[c] = std::max(widths[c], row.cells[c].size());
+  }
+
+  const auto emit_cell = [&](std::ostringstream& os, const std::string& text,
+                             std::size_t col) {
+    const auto pad = widths[col] - text.size();
+    if (aligns_[col] == Align::kRight) os << std::string(pad, ' ') << text;
+    else os << text << std::string(pad, ' ');
+  };
+
+  std::ostringstream os;
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) { os << "  "; total += 2; }
+    emit_cell(os, headers_[c], c);
+    total += widths[c];
+  }
+  os << '\n' << std::string(total, '-') << '\n';
+
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      os << std::string(total, '-') << '\n';
+      continue;
+    }
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      if (c) os << "  ";
+      emit_cell(os, row.cells[c], c);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string format_fixed(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", digits, value);
+  return buffer;
+}
+
+std::string format_percent(double ratio, int digits) {
+  return format_fixed(ratio * 100.0, digits);
+}
+
+}  // namespace ndet

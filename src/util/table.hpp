@@ -1,0 +1,54 @@
+// table.hpp -- plain-text table rendering shared by the bench harness.
+//
+// Every experiment binary reproduces one of the paper's tables; this helper
+// renders aligned monospace tables with a header row, optional group
+// separators (the paper groups circuits by the smallest n reaching 100%
+// coverage), and right-aligned numeric columns.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ndet {
+
+/// Column alignment for TextTable.
+enum class Align { kLeft, kRight };
+
+/// Incrementally built, aligned plain-text table.
+class TextTable {
+ public:
+  /// Creates a table with the given column headers; all columns default to
+  /// right alignment except the first (typically the circuit name).
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Overrides the alignment of column `col`.
+  void set_align(std::size_t col, Align align);
+
+  /// Appends a data row; must have exactly as many cells as headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator (rendered as dashes).
+  void add_separator();
+
+  /// Renders the table to a string, including a trailing newline.
+  std::string render() const;
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<Row> rows_;
+};
+
+/// Formats `value` with `digits` digits after the decimal point.
+std::string format_fixed(double value, int digits);
+
+/// Formats a percentage like the paper ("92.07"), given a ratio in [0,1].
+std::string format_percent(double ratio, int digits = 2);
+
+}  // namespace ndet

@@ -1,0 +1,223 @@
+// atpg_test.cpp -- PODEM and the n-detection generator, cross-validated
+// against exhaustive detection sets.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "atpg/ndetect.hpp"
+#include "atpg/podem.hpp"
+#include "netlist/library.hpp"
+#include "sim/exhaustive.hpp"
+#include "sim/fault_sim.hpp"
+#include "test_util.hpp"
+
+namespace ndet {
+namespace {
+
+/// Cross-validation harness: PODEM must find a test exactly for the faults
+/// with non-empty exhaustive detection sets, and the returned cube's
+/// completions must lie inside T(f).
+void cross_validate_podem(const Circuit& circuit) {
+  const LineModel lines(circuit);
+  const ExhaustiveSimulator sim(circuit);
+  const FaultSimulator fsim(sim, lines);
+  const Podem podem(lines);
+  Rng rng(1234);
+
+  for (const StuckAtFault& fault : collapse_stuck_at_faults(lines)) {
+    const Bitset truth = fsim.detection_set(fault);
+    const PodemResult result = podem.generate(fault, rng);
+    ASSERT_FALSE(result.aborted) << to_string(fault, lines);
+    EXPECT_EQ(result.cube.has_value(), truth.any())
+        << circuit.name() << " fault " << to_string(fault, lines);
+    if (result.cube) {
+      for (int i = 0; i < 8; ++i) {
+        const std::uint64_t test = podem.complete_cube(*result.cube, rng);
+        EXPECT_TRUE(truth.test(test))
+            << circuit.name() << " fault " << to_string(fault, lines)
+            << " completion " << test;
+      }
+    }
+  }
+}
+
+class PodemCrossValidation : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PodemCrossValidation, AgreesWithExhaustiveDetectability) {
+  cross_validate_podem(combinational_library(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Library, PodemCrossValidation,
+                         ::testing::Values("paper_example", "c17", "adder2",
+                                           "mux4", "majority3", "decoder2x4",
+                                           "comparator2", "alu2", "parity8"));
+
+TEST(Podem, FindsTestForRedundantFreeCircuit) {
+  const Circuit c = c17();
+  const LineModel lines(c);
+  const Podem podem(lines);
+  Rng rng(7);
+  for (const auto& fault : collapse_stuck_at_faults(lines)) {
+    const PodemResult result = podem.generate(fault, rng);
+    EXPECT_TRUE(result.cube.has_value()) << to_string(fault, lines);
+  }
+}
+
+TEST(Podem, ProvesRedundantFaultUndetectable) {
+  // g = OR(a, NOT a) == 1: g stuck-at-1 is undetectable.
+  CircuitBuilder b("redundant");
+  const GateId a = b.add_input("a");
+  const GateId na = b.add_gate(GateType::kNot, "na", {a});
+  const GateId g = b.add_gate(GateType::kOr, "g", {a, na});
+  b.mark_output(g);
+  const Circuit c = b.build();
+  const LineModel lines(c);
+  const Podem podem(lines);
+  Rng rng(3);
+  const PodemResult result =
+      podem.generate(StuckAtFault{lines.stem_of(g), true}, rng);
+  EXPECT_FALSE(result.cube.has_value());
+  EXPECT_FALSE(result.aborted);
+}
+
+TEST(Podem, CompleteCubeRespectsSpecifiedBits) {
+  const Circuit c = paper_example();
+  const LineModel lines(c);
+  const Podem podem(lines);
+  Rng rng(5);
+  const std::vector<Ternary> cube{Ternary::kZero, Ternary::kOne, Ternary::kX,
+                                  Ternary::kX};
+  for (int i = 0; i < 16; ++i) {
+    const std::uint64_t v = podem.complete_cube(cube, rng);
+    EXPECT_EQ((v >> 3) & 1u, 0u);
+    EXPECT_EQ((v >> 2) & 1u, 1u);
+  }
+}
+
+TEST(Podem, RandomizedModeStillValid) {
+  const Circuit c = alu2();
+  const LineModel lines(c);
+  const ExhaustiveSimulator sim(c);
+  const FaultSimulator fsim(sim, lines);
+  PodemConfig config;
+  config.randomize = true;
+  const Podem podem(lines, config);
+  Rng rng(99);
+  for (const auto& fault : collapse_stuck_at_faults(lines)) {
+    const Bitset truth = fsim.detection_set(fault);
+    const PodemResult result = podem.generate(fault, rng);
+    EXPECT_EQ(result.cube.has_value(), truth.any()) << to_string(fault, lines);
+  }
+}
+
+// --- n-detection generation --------------------------------------------------
+
+TEST(NDetect, SetProvidesRequestedDetections) {
+  const Circuit c = c17();
+  const LineModel lines(c);
+  const auto faults = collapse_stuck_at_faults(lines);
+  NDetectConfig config;
+  config.n = 3;
+  config.seed = 21;
+  const NDetectResult result = generate_ndetection_set(lines, faults, config);
+  EXPECT_EQ(result.undetectable_faults, 0u);
+  EXPECT_EQ(result.aborted_faults, 0u);
+
+  // Verify against the exhaustive ground truth: every fault must reach
+  // min(n, N(f)) detections.
+  const ExhaustiveSimulator sim(c);
+  const FaultSimulator fsim(sim, lines);
+  const auto counts = count_detections(lines, faults, result.tests);
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const std::size_t available = fsim.detection_set(faults[i]).count();
+    EXPECT_GE(counts[i], std::min<std::size_t>(3, available))
+        << to_string(faults[i], lines);
+  }
+}
+
+TEST(NDetect, HigherNGrowsTheTestSet) {
+  const Circuit c = alu2();
+  const LineModel lines(c);
+  const auto faults = collapse_stuck_at_faults(lines);
+  NDetectConfig one;
+  one.n = 1;
+  NDetectConfig five;
+  five.n = 5;
+  const auto set1 = generate_ndetection_set(lines, faults, one);
+  const auto set5 = generate_ndetection_set(lines, faults, five);
+  EXPECT_GT(set5.tests.size(), set1.tests.size());
+}
+
+TEST(NDetect, CompactionPreservesDetectionCounts) {
+  const Circuit c = mux4();
+  const LineModel lines(c);
+  const auto faults = collapse_stuck_at_faults(lines);
+  NDetectConfig config;
+  config.n = 4;
+  config.compact = false;
+  const auto uncompacted = generate_ndetection_set(lines, faults, config);
+  config.compact = true;
+  const auto compacted = generate_ndetection_set(lines, faults, config);
+  EXPECT_LE(compacted.tests.size(), uncompacted.tests.size());
+
+  const auto counts_before =
+      count_detections(lines, faults, uncompacted.tests);
+  const auto counts_after = count_detections(lines, faults, compacted.tests);
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const std::size_t quota = std::min<std::size_t>(4, counts_before[i]);
+    EXPECT_GE(counts_after[i], quota) << to_string(faults[i], lines);
+  }
+}
+
+TEST(NDetect, TestsAreUnique) {
+  const Circuit c = c17();
+  const LineModel lines(c);
+  const auto faults = collapse_stuck_at_faults(lines);
+  NDetectConfig config;
+  config.n = 5;
+  const auto result = generate_ndetection_set(lines, faults, config);
+  const std::set<std::uint32_t> unique(result.tests.begin(),
+                                       result.tests.end());
+  EXPECT_EQ(unique.size(), result.tests.size());
+}
+
+TEST(NDetect, DeterministicInSeed) {
+  const Circuit c = c17();
+  const LineModel lines(c);
+  const auto faults = collapse_stuck_at_faults(lines);
+  NDetectConfig config;
+  config.n = 2;
+  config.seed = 5;
+  const auto a = generate_ndetection_set(lines, faults, config);
+  const auto b = generate_ndetection_set(lines, faults, config);
+  EXPECT_EQ(a.tests, b.tests);
+}
+
+TEST(NDetect, CountDetectionsOnEmptySet) {
+  const Circuit c = c17();
+  const LineModel lines(c);
+  const auto faults = collapse_stuck_at_faults(lines);
+  const auto counts = count_detections(lines, faults, {});
+  for (const auto count : counts) EXPECT_EQ(count, 0u);
+}
+
+TEST(NDetect, ShortFaultsAreReported) {
+  // Fault f15 = 11/1 of the paper example has only 4 tests; requesting
+  // n = 10 must report it (and others) as short, not fail.
+  const Circuit c = paper_example();
+  const LineModel lines(c);
+  const auto faults = collapse_stuck_at_faults(lines);
+  NDetectConfig config;
+  config.n = 10;
+  const auto result = generate_ndetection_set(lines, faults, config);
+  EXPECT_GT(result.short_faults, 0u);
+  const auto counts = count_detections(lines, faults, result.tests);
+  // f15's tests are {0,4,8,12}: all four must be found.
+  const int f15 = testing::find_fault(faults, 10, true);
+  ASSERT_GE(f15, 0);
+  EXPECT_EQ(counts[static_cast<std::size_t>(f15)], 4u);
+}
+
+}  // namespace
+}  // namespace ndet
