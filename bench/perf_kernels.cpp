@@ -15,6 +15,7 @@
 #include "faults/stuck_at.hpp"
 #include "fsm/benchmarks.hpp"
 #include "netlist/reach.hpp"
+#include "sim/batch_fault_sim.hpp"
 #include "sim/exhaustive.hpp"
 #include "sim/fault_sim.hpp"
 #include "sim/ternary_sim.hpp"
@@ -76,6 +77,58 @@ void BM_BridgingDetectionSets(benchmark::State& state) {
                           static_cast<std::int64_t>(faults.size()));
 }
 BENCHMARK(BM_BridgingDetectionSets);
+
+// The DetectionDb::build hot path end to end: every stuck-at and every
+// bridging detection set of the circuit.  The Reference variant is the
+// per-fault baseline; the Batched variant takes a worker-pool width
+// (0 = all hardware threads), so Batched/1 isolates the precomputation and
+// scratch-arena wins from the threading win.
+void BM_AllDetectionSetsReference(benchmark::State& state) {
+  const Circuit& c = bench_circuit();
+  const LineModel lines(c);
+  const ExhaustiveSimulator sim(c);
+  const ReachMatrix reach(c);
+  const auto stuck = collapse_stuck_at_faults(lines);
+  const auto bridges = enumerate_four_way_bridging(c, reach);
+  for (auto _ : state) {
+    const FaultSimulator fsim(sim, lines);
+    const auto stuck_sets = fsim.detection_sets(stuck);
+    const auto bridge_sets = fsim.detection_sets(bridges);
+    benchmark::DoNotOptimize(stuck_sets.size() + bridge_sets.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(stuck.size() + bridges.size()));
+}
+BENCHMARK(BM_AllDetectionSetsReference);
+
+void BM_AllDetectionSetsBatched(benchmark::State& state) {
+  const Circuit& c = bench_circuit();
+  const LineModel lines(c);
+  const ExhaustiveSimulator sim(c);
+  const ReachMatrix reach(c);
+  const auto stuck = collapse_stuck_at_faults(lines);
+  const auto bridges = enumerate_four_way_bridging(c, reach);
+  BatchFaultSimOptions options;
+  options.num_threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    const BatchFaultSimulator fsim(sim, lines, options);
+    const auto stuck_sets = fsim.detection_sets(stuck);
+    const auto bridge_sets = fsim.detection_sets(bridges);
+    benchmark::DoNotOptimize(stuck_sets.size() + bridge_sets.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(stuck.size() + bridges.size()));
+}
+BENCHMARK(BM_AllDetectionSetsBatched)->Arg(1)->Arg(0);
+
+void BM_DetectionDbBuild(benchmark::State& state) {
+  const Circuit& c = bench_circuit();
+  for (auto _ : state) {
+    const DetectionDb db = DetectionDb::build(c);
+    benchmark::DoNotOptimize(db.targets().size());
+  }
+}
+BENCHMARK(BM_DetectionDbBuild);
 
 void BM_WorstCaseNmin(benchmark::State& state) {
   const DetectionDb& db = bench_db();

@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "sim/batch_fault_sim.hpp"
 #include "sim/exhaustive.hpp"
-#include "sim/fault_sim.hpp"
 #include "util/check.hpp"
 
 namespace ndet {
@@ -18,7 +18,7 @@ std::vector<Bitset> detection_matrix(const LineModel& lines,
                                      std::span<const std::uint32_t> tests) {
   std::vector<std::uint64_t> vectors(tests.begin(), tests.end());
   const ExhaustiveSimulator sim(lines.circuit(), vectors);
-  const FaultSimulator fault_sim(sim, lines);
+  const BatchFaultSimulator fault_sim(sim, lines);
   return fault_sim.detection_sets(faults);
 }
 

@@ -1,8 +1,8 @@
 #include "core/detection_db.hpp"
 
 #include "netlist/reach.hpp"
+#include "sim/batch_fault_sim.hpp"
 #include "sim/exhaustive.hpp"
-#include "sim/fault_sim.hpp"
 
 namespace ndet {
 
@@ -14,7 +14,8 @@ DetectionDb DetectionDb::build(const Circuit& circuit,
 
   const ExhaustiveSimulator good(*db.circuit_, options.max_inputs);
   db.vector_count_ = good.vector_count();
-  const FaultSimulator simulator(good, *db.lines_);
+  const BatchFaultSimulator simulator(good, *db.lines_,
+                                      {.num_threads = options.num_threads});
 
   // F: collapsed single stuck-at faults, with their detection sets.
   db.targets_ = collapse_stuck_at_faults(*db.lines_);
@@ -25,11 +26,11 @@ DetectionDb DetectionDb::build(const Circuit& circuit,
   const std::vector<BridgingFault> enumerated =
       enumerate_four_way_bridging(*db.circuit_, reach);
   db.enumerated_untargeted_ = enumerated.size();
-  for (const BridgingFault& fault : enumerated) {
-    Bitset set = simulator.detection_set(fault);
-    if (set.none()) continue;
-    db.untargeted_.push_back(fault);
-    db.untargeted_sets_.push_back(std::move(set));
+  std::vector<Bitset> enumerated_sets = simulator.detection_sets(enumerated);
+  for (std::size_t i = 0; i < enumerated.size(); ++i) {
+    if (enumerated_sets[i].none()) continue;
+    db.untargeted_.push_back(enumerated[i]);
+    db.untargeted_sets_.push_back(std::move(enumerated_sets[i]));
   }
   return db;
 }

@@ -11,6 +11,8 @@
 
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
@@ -25,7 +27,8 @@ namespace ndet {
 
 /// Options controlling database construction.
 struct DetectionDbOptions {
-  int max_inputs = 20;  ///< exhaustive-simulation input limit
+  int max_inputs = 20;       ///< exhaustive-simulation input limit
+  unsigned num_threads = 0;  ///< fault-simulation workers; 0 = all hardware threads
 };
 
 /// Exhaustive detection sets of one circuit.

@@ -10,6 +10,8 @@
 
 #pragma once
 
+#include <cstddef>
+
 #include "core/procedure1.hpp"
 
 namespace ndet {

@@ -14,8 +14,10 @@
 
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
+#include <span>
 #include <vector>
 
 #include "core/detection_db.hpp"

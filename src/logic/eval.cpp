@@ -6,9 +6,11 @@ namespace ndet {
 
 std::uint64_t eval_gate_words(GateType type,
                               std::span<const std::uint64_t> fanins) {
-  require(fanins.size() >= static_cast<std::size_t>(min_fanin(type)) &&
-              min_fanin(type) >= 1,
-          "eval_gate_words: wrong fanin count for gate type " + to_string(type));
+  if (fanins.size() < static_cast<std::size_t>(min_fanin(type)) ||
+      min_fanin(type) < 1) {
+    throw contract_error("eval_gate_words: wrong fanin count for gate type " +
+                         to_string(type));
+  }
   switch (type) {
     case GateType::kBuf:
       return fanins[0];

@@ -2,6 +2,7 @@
 
 #pragma once
 
+#include <cstddef>
 #include <map>
 #include <string>
 

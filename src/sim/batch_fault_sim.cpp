@@ -1,0 +1,285 @@
+#include "sim/batch_fault_sim.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <thread>
+
+#include "logic/eval.hpp"
+#include "util/check.hpp"
+
+namespace ndet {
+
+BatchFaultSimulator::BatchFaultSimulator(const ExhaustiveSimulator& good,
+                                         const LineModel& lines,
+                                         BatchFaultSimOptions options)
+    : good_(&good), lines_(&lines) {
+  require(&good.circuit() == &lines.circuit(),
+          "BatchFaultSimulator: simulator and line model refer to different "
+          "circuits");
+  unsigned threads = options.num_threads;
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  num_threads_ = std::max(1u, threads);
+  build_cones();
+}
+
+void BatchFaultSimulator::build_cones() {
+  const Circuit& circuit = good_->circuit();
+  const std::size_t gate_count = circuit.gate_count();
+
+  for (GateId g = 0; g < gate_count; ++g)
+    max_fanin_ = std::max(max_fanin_, circuit.gate(g).fanins.size());
+
+  cone_offsets_.assign(gate_count + 1, 0);
+  output_offsets_.assign(gate_count + 1, 0);
+
+  // One DFS per root, with epoch-stamped visit marks so the seen map never
+  // needs clearing between roots.
+  std::vector<std::uint32_t> seen(gate_count, 0);
+  std::vector<GateId> stack;
+  std::vector<GateId> cone;
+  for (GateId root = 0; root < gate_count; ++root) {
+    const std::uint32_t epoch = root + 1;
+    cone.clear();
+    stack.assign(1, root);
+    seen[root] = epoch;
+    while (!stack.empty()) {
+      const GateId g = stack.back();
+      stack.pop_back();
+      cone.push_back(g);
+      for (const GateId f : circuit.gate(g).fanouts) {
+        if (seen[f] != epoch) {
+          seen[f] = epoch;
+          stack.push_back(f);
+        }
+      }
+    }
+    // Ascending id order is topological order (Circuit invariant), matching
+    // fanout_cone_gates so both engines resimulate in the same sequence.
+    std::sort(cone.begin(), cone.end());
+    cone_offsets_[root + 1] = cone_offsets_[root] +
+                              static_cast<std::uint32_t>(cone.size());
+    cone_storage_.insert(cone_storage_.end(), cone.begin(), cone.end());
+    std::uint32_t outputs = 0;
+    for (const GateId g : cone) {
+      if (circuit.is_output(g)) {
+        output_storage_.push_back(g);
+        ++outputs;
+      }
+    }
+    output_offsets_[root + 1] = output_offsets_[root] + outputs;
+  }
+  require(cone_storage_.size() <=
+              std::numeric_limits<std::uint32_t>::max(),
+          "BatchFaultSimulator: cumulative fanout-cone size overflows the "
+          "32-bit CSR offsets");
+}
+
+std::span<const GateId> BatchFaultSimulator::cone_gates(GateId root) const {
+  require(root < good_->circuit().gate_count(),
+          "BatchFaultSimulator::cone_gates: gate id out of range");
+  return {cone_storage_.data() + cone_offsets_[root],
+          cone_storage_.data() + cone_offsets_[root + 1]};
+}
+
+std::span<const GateId> BatchFaultSimulator::cone_outputs(GateId root) const {
+  require(root < good_->circuit().gate_count(),
+          "BatchFaultSimulator::cone_outputs: gate id out of range");
+  return {output_storage_.data() + output_offsets_[root],
+          output_storage_.data() + output_offsets_[root + 1]};
+}
+
+BatchFaultSimulator::Scratch BatchFaultSimulator::make_scratch() const {
+  Scratch scratch;
+  const std::size_t gate_count = good_->circuit().gate_count();
+  scratch.faulty.assign(gate_count, 0);
+  scratch.fanins.assign(std::max<std::size_t>(max_fanin_, 1), 0);
+  scratch.in_cone.assign(gate_count, 0);
+  scratch.changed.assign(gate_count, 0);
+  return scratch;
+}
+
+BatchFaultSimulator::Injection BatchFaultSimulator::injection_for(
+    const StuckAtFault& fault) const {
+  const Line& line = lines_->line(fault.line);
+  Injection inj;
+  inj.constant = fault.stuck_value ? ~std::uint64_t{0} : 0;
+  if (line.kind == LineKind::kStem) {
+    inj.kind = InjectionKind::kStemStuck;
+    inj.root = line.driver;
+  } else {
+    inj.kind = InjectionKind::kBranchStuck;
+    inj.root = line.sink;
+    inj.branch_slot = line.sink_slot;
+  }
+  return inj;
+}
+
+BatchFaultSimulator::Injection BatchFaultSimulator::injection_for(
+    const BridgingFault& fault) const {
+  Injection inj;
+  inj.kind = InjectionKind::kBridge;
+  inj.root = fault.victim;
+  inj.aggressor = fault.aggressor;
+  inj.wired_or = fault.aggressor_value;
+  return inj;
+}
+
+void BatchFaultSimulator::simulate_into(const Injection& inj, Scratch& scratch,
+                                        Bitset& out) const {
+  const Circuit& circuit = good_->circuit();
+  const std::span<const GateId> cone = cone_gates(inj.root);
+  const std::span<const GateId> outputs = cone_outputs(inj.root);
+  out.clear();
+  if (outputs.empty()) return;  // fault effect unobservable
+
+  const std::uint32_t epoch = ++scratch.epoch;
+  if (epoch == 0) {
+    // Epoch counter wrapped: invalidate stale stamps once per 2^32 faults.
+    std::fill(scratch.in_cone.begin(), scratch.in_cone.end(), 0u);
+    scratch.epoch = 1;
+  }
+  const std::uint32_t mark = scratch.epoch;
+  for (const GateId g : cone) scratch.in_cone[g] = mark;
+
+  std::uint64_t* const faulty = scratch.faulty.data();
+  std::uint64_t* const fanin_words = scratch.fanins.data();
+  std::uint8_t* const changed = scratch.changed.data();
+  const GateId root = inj.root;  // cone.front(): everything else is fanout
+
+  for (std::size_t w = 0; w < good_->word_count(); ++w) {
+    // Inject at the root.  A word where the injected value matches the
+    // fault-free value is inert: nothing downstream can change, so the
+    // whole cone is skipped (out was cleared up front).
+    std::uint64_t root_value;
+    if (inj.kind == InjectionKind::kStemStuck) {
+      root_value = inj.constant;
+    } else if (inj.kind == InjectionKind::kBridge) {
+      const std::uint64_t v = good_->good_word(root, w);
+      const std::uint64_t a = good_->good_word(inj.aggressor, w);
+      // The victim takes the aggressor's value exactly when the aggressor
+      // carries a2: a2 = 1 -> wired OR, a2 = 0 -> wired AND.
+      root_value = inj.wired_or ? (v | a) : (v & a);
+    } else {
+      // Branch stuck-at: re-evaluate the sink with one fanin overridden.
+      const Gate& gate = circuit.gate(root);
+      const std::size_t fanin_count = gate.fanins.size();
+      for (std::size_t s = 0; s < fanin_count; ++s) {
+        fanin_words[s] = static_cast<int>(s) == inj.branch_slot
+                             ? inj.constant
+                             : good_->good_word(gate.fanins[s], w);
+      }
+      root_value = eval_gate_words(gate.type, {fanin_words, fanin_count});
+    }
+    if (root_value == good_->good_word(root, w)) continue;
+    faulty[root] = root_value;
+    changed[root] = 1;
+
+    // Event-driven sweep over the rest of the cone: a gate whose fanins all
+    // kept their fault-free values would reproduce its fault-free output,
+    // so only gates downstream of an actual change are re-evaluated.
+    for (const GateId g : cone.subspan(1)) {
+      const Gate& gate = circuit.gate(g);
+      const std::size_t fanin_count = gate.fanins.size();
+      bool active = false;
+      for (std::size_t s = 0; s < fanin_count; ++s) {
+        const GateId fi = gate.fanins[s];
+        if (scratch.in_cone[fi] == mark && changed[fi]) {
+          active = true;
+          break;
+        }
+      }
+      if (!active) {
+        changed[g] = 0;
+        continue;
+      }
+      for (std::size_t s = 0; s < fanin_count; ++s) {
+        const GateId fi = gate.fanins[s];
+        fanin_words[s] = scratch.in_cone[fi] == mark && changed[fi]
+                             ? faulty[fi]
+                             : good_->good_word(fi, w);
+      }
+      const std::uint64_t value = eval_gate_words(gate.type,
+                                                  {fanin_words, fanin_count});
+      faulty[g] = value;
+      changed[g] = value != good_->good_word(g, w) ? 1 : 0;
+    }
+    std::uint64_t diff = 0;
+    for (const GateId po : outputs)
+      if (changed[po]) diff |= good_->good_word(po, w) ^ faulty[po];
+    if (w + 1 == good_->word_count()) diff &= good_->last_word_mask();
+    out.words()[w] = diff;
+  }
+}
+
+template <typename Fault>
+std::vector<Bitset> BatchFaultSimulator::run_batch(
+    std::span<const Fault> faults) const {
+  std::vector<Bitset> sets(faults.size());
+  if (faults.empty()) return sets;
+
+  const std::size_t fault_count = faults.size();
+  const unsigned workers = static_cast<unsigned>(
+      std::min<std::size_t>(num_threads_, fault_count));
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+
+  auto work = [&]() {
+    try {
+      Scratch scratch = make_scratch();
+      for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+           i < fault_count && !failed.load(std::memory_order_relaxed);
+           i = next.fetch_add(1, std::memory_order_relaxed)) {
+        Bitset set(good_->vector_count());
+        simulate_into(injection_for(faults[i]), scratch, set);
+        sets[i] = std::move(set);
+      }
+    } catch (...) {
+      failed.store(true, std::memory_order_relaxed);
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      if (!error) error = std::current_exception();
+    }
+  };
+
+  if (workers <= 1) {
+    work();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned t = 0; t < workers; ++t) pool.emplace_back(work);
+    for (std::thread& thread : pool) thread.join();
+  }
+  if (error) std::rethrow_exception(error);
+  return sets;
+}
+
+std::vector<Bitset> BatchFaultSimulator::detection_sets(
+    std::span<const StuckAtFault> faults) const {
+  return run_batch(faults);
+}
+
+std::vector<Bitset> BatchFaultSimulator::detection_sets(
+    std::span<const BridgingFault> faults) const {
+  return run_batch(faults);
+}
+
+Bitset BatchFaultSimulator::detection_set(const StuckAtFault& fault) const {
+  Scratch scratch = make_scratch();
+  Bitset set(good_->vector_count());
+  simulate_into(injection_for(fault), scratch, set);
+  return set;
+}
+
+Bitset BatchFaultSimulator::detection_set(const BridgingFault& fault) const {
+  Scratch scratch = make_scratch();
+  Bitset set(good_->vector_count());
+  simulate_into(injection_for(fault), scratch, set);
+  return set;
+}
+
+}  // namespace ndet

@@ -13,6 +13,21 @@ FaultSimulator::FaultSimulator(const ExhaustiveSimulator& good,
     : good_(&good), lines_(&lines) {
   require(&good.circuit() == &lines.circuit(),
           "FaultSimulator: simulator and line model refer to different circuits");
+  const std::size_t gate_count = good.circuit().gate_count();
+  in_affected_.assign(gate_count, 0);
+  faulty_.assign(gate_count, 0);
+  std::size_t max_fanin = 0;
+  for (GateId g = 0; g < gate_count; ++g)
+    max_fanin = std::max(max_fanin, good.circuit().gate(g).fanins.size());
+  fanin_words_.assign(std::max<std::size_t>(max_fanin, 1), 0);
+}
+
+std::uint32_t FaultSimulator::next_epoch() const {
+  if (++epoch_ == 0) {
+    std::fill(in_affected_.begin(), in_affected_.end(), 0u);
+    epoch_ = 1;
+  }
+  return epoch_;
 }
 
 std::vector<GateId> FaultSimulator::affected_gates(GateId root) const {
@@ -25,40 +40,38 @@ Bitset FaultSimulator::simulate(
   const Circuit& circuit = good_->circuit();
   const std::vector<GateId> affected = affected_gates(start);
 
-  std::vector<bool> in_affected(circuit.gate_count(), false);
-  for (const GateId g : affected) in_affected[g] = true;
+  const std::uint32_t mark = next_epoch();
+  for (const GateId g : affected) in_affected_[g] = mark;
 
-  std::vector<GateId> affected_outputs;
+  affected_outputs_.clear();
   for (const GateId g : affected)
-    if (circuit.is_output(g)) affected_outputs.push_back(g);
+    if (circuit.is_output(g)) affected_outputs_.push_back(g);
 
   Bitset detected(good_->vector_count());
-  if (affected_outputs.empty()) return detected;  // fault effect unobservable
-
-  std::vector<std::uint64_t> faulty(circuit.gate_count(), 0);
-  std::vector<std::uint64_t> fanin_words;
+  if (affected_outputs_.empty()) return detected;  // fault effect unobservable
 
   for (std::size_t w = 0; w < good_->word_count(); ++w) {
     for (const GateId g : affected) {
       if (g == start && forced) {
-        faulty[g] = forced(w);
+        faulty_[g] = forced(w);
         continue;
       }
       const Gate& gate = circuit.gate(g);
-      fanin_words.resize(gate.fanins.size());
-      for (std::size_t s = 0; s < gate.fanins.size(); ++s) {
+      const std::size_t fanin_count = gate.fanins.size();
+      for (std::size_t s = 0; s < fanin_count; ++s) {
         const GateId fi = gate.fanins[s];
         std::uint64_t value =
-            in_affected[fi] ? faulty[fi] : good_->good_word(fi, w);
+            in_affected_[fi] == mark ? faulty_[fi] : good_->good_word(fi, w);
         if (g == start && static_cast<int>(s) == branch_slot)
           value = branch_constant;
-        fanin_words[s] = value;
+        fanin_words_[s] = value;
       }
-      faulty[g] = eval_gate_words(gate.type, fanin_words);
+      faulty_[g] = eval_gate_words(
+          gate.type, {fanin_words_.data(), fanin_count});
     }
     std::uint64_t diff = 0;
-    for (const GateId po : affected_outputs)
-      diff |= good_->good_word(po, w) ^ faulty[po];
+    for (const GateId po : affected_outputs_)
+      diff |= good_->good_word(po, w) ^ faulty_[po];
     if (w + 1 == good_->word_count()) diff &= good_->last_word_mask();
     detected.words()[w] = diff;
   }

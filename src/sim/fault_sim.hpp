@@ -14,9 +14,19 @@
 //                               to the aggressor's value exactly when the
 //                               aggressor carries a2; non-feedback pairs keep
 //                               this a single forward resimulation.
+//
+// This is the *reference* engine: one fault at a time, structurally obvious,
+// used to cross-validate the batched multi-threaded engine
+// (sim/batch_fault_sim.hpp) which callers on the hot path should prefer.
+// Scratch buffers are owned by the instance and reused across calls, so a
+// FaultSimulator must not be shared between threads without external
+// synchronization (the batched engine gives each worker its own scratch
+// instead).
 
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <span>
 #include <vector>
@@ -58,8 +68,19 @@ class FaultSimulator {
                   const std::function<std::uint64_t(std::size_t)>& forced,
                   int branch_slot, std::uint64_t branch_constant) const;
 
+  /// Bumps the scratch epoch, resetting stale stamps on wrap-around.
+  std::uint32_t next_epoch() const;
+
   const ExhaustiveSimulator* good_;
   const LineModel* lines_;
+
+  // Per-instance scratch, reused across simulate() calls so the per-fault
+  // cost carries no allocations beyond the cone DFS and the result Bitset.
+  mutable std::vector<std::uint32_t> in_affected_;  ///< epoch stamps by gate
+  mutable std::uint32_t epoch_ = 0;
+  mutable std::vector<GateId> affected_outputs_;
+  mutable std::vector<std::uint64_t> faulty_;
+  mutable std::vector<std::uint64_t> fanin_words_;
 };
 
 }  // namespace ndet

@@ -17,8 +17,10 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "util/check.hpp"
@@ -122,8 +124,10 @@ class Bitset {
 
  private:
   void require_same_size(const Bitset& other, const char* op) const {
-    require(size_ == other.size_, std::string("Bitset::") + op +
-                                      ": size mismatch between operands");
+    if (size_ != other.size_) {
+      throw contract_error(std::string("Bitset::") + op +
+                           ": size mismatch between operands");
+    }
   }
 
   std::size_t size_;

@@ -21,7 +21,18 @@ class contract_error : public std::logic_error {
 };
 
 /// Throws contract_error with `message` when `condition` is false.
+///
+/// Callers on hot paths must keep the message cheap: the argument is
+/// evaluated unconditionally, so a `"..." + to_string(x)` concatenation
+/// allocates even when the check passes.  Pass a string literal (routed to
+/// the const char* overload below, which allocates nothing on success) and
+/// build descriptive messages only inside an explicit failure branch.
 inline void require(bool condition, const std::string& message) {
+  if (!condition) throw contract_error(message);
+}
+
+/// Literal-message overload: no std::string construction on the happy path.
+inline void require(bool condition, const char* message) {
   if (!condition) throw contract_error(message);
 }
 

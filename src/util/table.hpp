@@ -7,6 +7,7 @@
 
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 

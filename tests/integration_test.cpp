@@ -28,8 +28,11 @@ TEST_P(PipelineTest, WorstAndAverageCaseAgree) {
 
   // Every detectable bridging fault needs at least one detection; a finite
   // nmin is always >= 1.
-  for (const auto v : worst.nmin)
-    if (v != kNeverGuaranteed) EXPECT_GE(v, 1u);
+  for (const auto v : worst.nmin) {
+    if (v != kNeverGuaranteed) {
+      EXPECT_GE(v, 1u);
+    }
+  }
 
   // Monitor everything; with modest K the guarantee invariant must hold:
   // nmin(g) <= n  ==>  every constructed n-detection set detects g.

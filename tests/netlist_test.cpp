@@ -271,8 +271,9 @@ TEST_P(GeneratorProperty, StructuralInvariants) {
   for (GateId g = 0; g < c.gate_count(); ++g) {
     const Gate& gate = c.gate(g);
     for (const GateId fi : gate.fanins) EXPECT_LT(fi, g);
-    if (gate.type != GateType::kInput && !c.is_output(g))
+    if (gate.type != GateType::kInput && !c.is_output(g)) {
       EXPECT_FALSE(gate.fanouts.empty());
+    }
   }
 }
 

@@ -120,9 +120,10 @@ TEST(Procedure1, GuaranteeCrossCheckWithWorstCase) {
   const AverageCaseResult result = run_procedure1(db, monitored, config);
   for (std::size_t j = 0; j < monitored.size(); ++j) {
     for (int n = 1; n <= config.nmax; ++n) {
-      if (worst.nmin[j] <= static_cast<std::uint64_t>(n))
+      if (worst.nmin[j] <= static_cast<std::uint64_t>(n)) {
         EXPECT_DOUBLE_EQ(result.probability(n, j), 1.0)
             << "g" << j << " nmin=" << worst.nmin[j] << " n=" << n;
+      }
     }
   }
 }
@@ -229,9 +230,11 @@ TEST(Procedure1Def2, GuaranteeCrossCheckStillHolds) {
   config.definition = DetectionDefinition::kDissimilar;
   const auto monitored = all_monitored(db);
   const AverageCaseResult result = run_procedure1(db, monitored, config);
-  for (std::size_t j = 0; j < monitored.size(); ++j)
-    if (worst.nmin[j] <= 4u)
+  for (std::size_t j = 0; j < monitored.size(); ++j) {
+    if (worst.nmin[j] <= 4u) {
       EXPECT_DOUBLE_EQ(result.probability(4, j), 1.0) << "g" << j;
+    }
+  }
 }
 
 TEST(Procedure1Def2, DeterministicInSeed) {

@@ -80,9 +80,10 @@ TEST(TernarySim, DefiniteDetectionHoldsForAllCompletions) {
           const bool bit = ((v >> (3 - i)) & 1u) != 0;
           compatible = (inputs[i] == ternary_of(bit));
         }
-        if (compatible)
+        if (compatible) {
           EXPECT_TRUE(sets[fi].test(v))
               << "fault " << fi << " code " << code << " completion " << v;
+        }
       }
     }
   }
@@ -131,10 +132,13 @@ TEST_F(Def2Fixture, AllTestsOfFault0AreSimilar) {
   // detect the fault, so no pair counts as two detections.
   const auto f0 = static_cast<std::size_t>(find_fault(faults_, 0, true));
   const std::vector<std::uint64_t> tests{4, 5, 6, 7};
-  for (const auto t1 : tests)
-    for (const auto t2 : tests)
-      if (t1 != t2) EXPECT_FALSE(oracle_.distinct(f0, t1, t2))
-          << t1 << "," << t2;
+  for (const auto t1 : tests) {
+    for (const auto t2 : tests) {
+      if (t1 != t2) {
+        EXPECT_FALSE(oracle_.distinct(f0, t1, t2)) << t1 << "," << t2;
+      }
+    }
+  }
 }
 
 TEST_F(Def2Fixture, Fault2_0HasDistinctAndSimilarPairs) {
@@ -150,7 +154,7 @@ TEST_F(Def2Fixture, Fault2_0HasDistinctAndSimilarPairs) {
 
 TEST_F(Def2Fixture, DistinctIsSymmetric) {
   const auto f1 = static_cast<std::size_t>(find_fault(faults_, 1, false));
-  for (const auto [a, b] : {std::pair<std::uint64_t, std::uint64_t>{6, 12},
+  for (const auto& [a, b] : {std::pair<std::uint64_t, std::uint64_t>{6, 12},
                             {6, 7},
                             {13, 14},
                             {12, 15}}) {
@@ -190,7 +194,9 @@ TEST_F(Def2Fixture, DefinitionTwoIsStricterThanDefinitionOne) {
       if (distinct_from_all) counted.push_back(t);
     }
     EXPECT_LE(counted.size(), tests.size());
-    if (!tests.empty()) EXPECT_GE(counted.size(), 1u);
+    if (!tests.empty()) {
+      EXPECT_GE(counted.size(), 1u);
+    }
   }
 }
 
