@@ -3,22 +3,12 @@
 #include <cstdio>
 
 #include "fsm/benchmarks.hpp"
-#include "netlist/bench_io.hpp"
-#include "netlist/library.hpp"
 #include "util/check.hpp"
 
 namespace ndet::bench {
 
 Circuit circuit_by_name(const std::string& name) {
-  for (const auto& info : fsm_benchmark_suite())
-    if (info.name == name) return fsm_benchmark_circuit(name);
-  for (const auto& lib : combinational_library_names())
-    if (lib == name) return combinational_library(name);
-  if (name.size() > 6 && name.substr(name.size() - 6) == ".bench")
-    return read_bench_file(name);
-  throw contract_error(
-      "unknown circuit '" + name +
-      "' (expected an FSM benchmark, an embedded circuit, or a .bench path)");
+  return resolve_circuit(name);
 }
 
 std::vector<std::string> suite_names() {

@@ -1,7 +1,9 @@
 // perf_kernels.cpp -- google-benchmark timings of every kernel the
 // reproduction relies on: exhaustive simulation, stuck-at and bridging
-// detection sets, the worst-case nmin sweep, Procedure 1 under both
-// definitions, the Definition-2 oracle, and PODEM.
+// detection sets, the worst-case nmin sweep (reference vs the pruned
+// parallel engine, with the database memory footprint as counters),
+// the partitioned analysis, Procedure 1 under both definitions, the
+// Definition-2 oracle, and PODEM.
 
 #include <benchmark/benchmark.h>
 
@@ -10,6 +12,7 @@
 #include "atpg/ndetect.hpp"
 #include "atpg/podem.hpp"
 #include "common.hpp"
+#include "core/partition.hpp"
 #include "core/procedure1.hpp"
 #include "core/worst_case.hpp"
 #include "faults/stuck_at.hpp"
@@ -32,6 +35,43 @@ const Circuit& bench_circuit() {
 const DetectionDb& bench_db() {
   static const DetectionDb db = DetectionDb::build(bench_circuit());
   return db;
+}
+
+const DetectionDb& bench_db_dense() {
+  static const DetectionDb db = [] {
+    DetectionDbOptions options;
+    options.representation = SetRepresentation::kDense;
+    return DetectionDb::build(bench_circuit(), options);
+  }();
+  return db;
+}
+
+/// `blocks` independent 3-bit ripple adders in one netlist: the Section-4
+/// partitioning workload.  Output supports are disjoint per block, so a
+/// 7-input budget splits the circuit into exactly `blocks` cones.
+Circuit multi_adder_circuit(int blocks) {
+  CircuitBuilder b("multi_adder" + std::to_string(blocks));
+  for (int k = 0; k < blocks; ++k) {
+    const std::string blk = "k" + std::to_string(k) + "_";
+    std::vector<GateId> a, bb;
+    for (int i = 0; i < 3; ++i)
+      a.push_back(b.add_input(blk + "a" + std::to_string(i)));
+    for (int i = 0; i < 3; ++i)
+      bb.push_back(b.add_input(blk + "b" + std::to_string(i)));
+    GateId carry = b.add_input(blk + "cin");
+    for (int i = 0; i < 3; ++i) {
+      const std::string s = blk + std::to_string(i);
+      const auto idx = static_cast<std::size_t>(i);
+      const GateId axb = b.add_gate(GateType::kXor, "axb" + s, {a[idx], bb[idx]});
+      const GateId sum = b.add_gate(GateType::kXor, "s" + s, {axb, carry});
+      const GateId maj1 = b.add_gate(GateType::kAnd, "cab" + s, {a[idx], bb[idx]});
+      const GateId maj2 = b.add_gate(GateType::kAnd, "cx" + s, {axb, carry});
+      carry = b.add_gate(GateType::kOr, "c" + s, {maj1, maj2});
+      b.mark_output(sum);
+    }
+    b.mark_output(carry);
+  }
+  return b.build();
 }
 
 void BM_ExhaustiveSimulation(benchmark::State& state) {
@@ -130,16 +170,59 @@ void BM_DetectionDbBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_DetectionDbBuild);
 
-void BM_WorstCaseNmin(benchmark::State& state) {
-  const DetectionDb& db = bench_db();
+// The worst-case sweep, reference flavour: serial, unpruned, over the
+// all-dense database -- the pre-refactor behaviour BM_WorstCasePruned is
+// measured against.
+void BM_WorstCaseReference(benchmark::State& state) {
+  const DetectionDb& db = bench_db_dense();
   for (auto _ : state) {
-    const WorstCaseResult worst = analyze_worst_case(db);
+    WorstCaseResult worst;
+    worst.nmin.reserve(db.untargeted().size());
+    for (const DetectionSet& tg : db.untargeted_sets())
+      worst.nmin.push_back(nmin_of(tg, db.target_sets()));
     benchmark::DoNotOptimize(worst.nmin.size());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(db.untargeted().size()));
+  state.counters["db_bytes"] =
+      static_cast<double>(db.set_memory_bytes());
 }
-BENCHMARK(BM_WorstCaseNmin);
+BENCHMARK(BM_WorstCaseReference);
+
+// The production sweep: N(f)-sorted prune over the adaptive database,
+// sharded across the worker pool (argument = thread count, 0 = all
+// hardware threads).  db_bytes vs dense_bytes exposes the representation
+// win on this circuit.
+void BM_WorstCasePruned(benchmark::State& state) {
+  const DetectionDb& db = bench_db();
+  AnalysisOptions options;
+  options.num_threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    const WorstCaseResult worst = analyze_worst_case(db, options);
+    benchmark::DoNotOptimize(worst.nmin.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(db.untargeted().size()));
+  state.counters["db_bytes"] = static_cast<double>(db.set_memory_bytes());
+  state.counters["dense_bytes"] =
+      static_cast<double>(db.dense_memory_bytes());
+}
+BENCHMARK(BM_WorstCasePruned)->Arg(1)->Arg(0);
+
+// Section 4 end to end: partition a multi-block circuit into per-cone
+// subcircuits and run the full build + worst-case analysis on every cone,
+// cones sharded across the worker pool.
+void BM_PartitionedWorstCase(benchmark::State& state) {
+  const Circuit circuit = multi_adder_circuit(4);
+  AnalysisOptions options;
+  options.num_threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    const auto reports = partitioned_worst_case(circuit, 7, options);
+    benchmark::DoNotOptimize(reports.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 4);
+}
+BENCHMARK(BM_PartitionedWorstCase)->Arg(1)->Arg(0);
 
 void BM_Procedure1Definition1(benchmark::State& state) {
   const DetectionDb& db = bench_db();

@@ -1,6 +1,7 @@
 // average_case_report.cpp -- the paper's Section-3 analysis as a CLI tool.
 //
-//   average_case_report [circuit] [--k=500] [--nmax=10] [--seed=1] [--def=1|2]
+//   average_case_report [circuit] [--k=500] [--nmax=10] [--seed=1]
+//                       [--def=1|2] [--threads=0]
 //
 // Runs the worst-case analysis to find the faults an nmax-detection test set
 // is not guaranteed to detect, then estimates their detection probabilities
@@ -11,32 +12,17 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "common.hpp"
 #include "core/detection_db.hpp"
 #include "core/escape.hpp"
 #include "core/procedure1.hpp"
 #include "core/reports.hpp"
 #include "core/worst_case.hpp"
-#include "fsm/benchmarks.hpp"
-#include "netlist/bench_io.hpp"
-#include "netlist/library.hpp"
 #include "util/cli.hpp"
-
-namespace {
-
-ndet::Circuit resolve(const std::string& name) {
-  using namespace ndet;
-  for (const auto& info : fsm_benchmark_suite())
-    if (info.name == name) return fsm_benchmark_circuit(name);
-  for (const auto& lib : combinational_library_names())
-    if (lib == name) return combinational_library(name);
-  return read_bench_file(name);
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace ndet;
-  const CliArgs args(argc, argv, {"k", "nmax", "seed", "def"});
+  const CliArgs args(argc, argv, {"k", "nmax", "seed", "def", "threads"});
   const std::string name =
       args.positional().empty() ? "beecount" : args.positional()[0];
   Procedure1Config config;
@@ -47,9 +33,11 @@ int main(int argc, char** argv) {
                           ? DetectionDefinition::kDissimilar
                           : DetectionDefinition::kStandard;
 
-  const Circuit circuit = resolve(name);
-  const DetectionDb db = DetectionDb::build(circuit);
-  const WorstCaseResult worst = analyze_worst_case(db);
+  const Circuit circuit = resolve_circuit(name);
+  const DetectionDb db =
+      DetectionDb::build(circuit, examples::db_options_from(args));
+  const WorstCaseResult worst =
+      analyze_worst_case(db, examples::analysis_options_from(args));
 
   auto monitored =
       worst.indices_at_least(static_cast<std::uint64_t>(config.nmax) + 1);

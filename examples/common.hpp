@@ -1,0 +1,34 @@
+// common.hpp -- shared plumbing for the example CLIs.
+//
+// Every example accepts the same circuit argument -- resolved through
+// resolve_circuit (fsm/benchmarks.hpp) -- and the same --threads=
+// override, whose plumbing into the engine option structs lives here
+// instead of being copied into each main.
+
+#pragma once
+
+#include "core/detection_db.hpp"
+#include "core/worst_case.hpp"
+#include "fsm/benchmarks.hpp"
+#include "util/cli.hpp"
+
+namespace ndet::examples {
+
+/// Reads --threads= (0 = all hardware threads, the default).
+inline unsigned threads_from(const CliArgs& args) {
+  return static_cast<unsigned>(args.get_u64("threads", 0));
+}
+
+/// Database-build options carrying the --threads= choice.
+inline DetectionDbOptions db_options_from(const CliArgs& args) {
+  DetectionDbOptions options;
+  options.num_threads = threads_from(args);
+  return options;
+}
+
+/// Analysis-engine options carrying the --threads= choice.
+inline AnalysisOptions analysis_options_from(const CliArgs& args) {
+  return AnalysisOptions{.num_threads = threads_from(args)};
+}
+
+}  // namespace ndet::examples

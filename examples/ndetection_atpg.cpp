@@ -4,45 +4,32 @@
 // (bridging) fault coverage climb -- then compare against the worst-case
 // guarantee, which tells us when climbing further stops helping.
 //
-//   ndetection_atpg [circuit] [--nmax=10] [--seed=1]
+//   ndetection_atpg [circuit] [--nmax=10] [--seed=1] [--threads=0]
 
 #include <cstdio>
 
 #include "atpg/ndetect.hpp"
+#include "common.hpp"
 #include "core/detection_db.hpp"
 #include "core/worst_case.hpp"
-#include "fsm/benchmarks.hpp"
-#include "netlist/bench_io.hpp"
-#include "netlist/library.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
-namespace {
-
-ndet::Circuit resolve(const std::string& name) {
-  using namespace ndet;
-  for (const auto& info : fsm_benchmark_suite())
-    if (info.name == name) return fsm_benchmark_circuit(name);
-  for (const auto& lib : combinational_library_names())
-    if (lib == name) return combinational_library(name);
-  return read_bench_file(name);
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   using namespace ndet;
-  const CliArgs args(argc, argv, {"nmax", "seed"});
+  const CliArgs args(argc, argv, {"nmax", "seed", "threads"});
   const std::string name =
       args.positional().empty() ? "bbara" : args.positional()[0];
   const int nmax = static_cast<int>(args.get_u64("nmax", 10));
   const std::uint64_t seed = args.get_u64("seed", 1);
 
-  const Circuit circuit = resolve(name);
+  const Circuit circuit = resolve_circuit(name);
   const LineModel lines(circuit);
   const auto faults = collapse_stuck_at_faults(lines);
-  const DetectionDb db = DetectionDb::build(circuit);
-  const WorstCaseResult worst = analyze_worst_case(db);
+  const DetectionDb db =
+      DetectionDb::build(circuit, examples::db_options_from(args));
+  const WorstCaseResult worst =
+      analyze_worst_case(db, examples::analysis_options_from(args));
 
   std::printf("%s: %zu target faults, %zu bridging faults\n\n", name.c_str(),
               faults.size(), db.untargeted().size());
@@ -57,7 +44,7 @@ int main(int argc, char** argv) {
 
     // Grade the generated set against the bridging faults.
     std::size_t covered = 0;
-    for (const Bitset& tg : db.untargeted_sets()) {
+    for (const DetectionSet& tg : db.untargeted_sets()) {
       bool hit = false;
       for (const auto t : result.tests)
         if (tg.test(t)) {

@@ -2,48 +2,37 @@
 // "partition a larger circuit into smaller subcircuits and apply the
 // analysis to the subcircuits".
 //
-//   partition_analysis [circuit] [--budget=10]
+//   partition_analysis [circuit] [--budget=10] [--threads=0]
 //
 // The circuit's primary outputs are grouped greedily so that each group's
 // input support fits the exhaustive budget; every cone is analyzed
-// independently and the per-cone worst-case summaries are reported.
+// independently (cones shard across the worker pool) and the per-cone
+// worst-case summaries are reported.
 
 #include <cstdio>
 
+#include "common.hpp"
 #include "core/partition.hpp"
-#include "fsm/benchmarks.hpp"
-#include "netlist/bench_io.hpp"
-#include "netlist/library.hpp"
 #include "netlist/stats.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
-namespace {
-
-ndet::Circuit resolve(const std::string& name) {
-  using namespace ndet;
-  for (const auto& info : fsm_benchmark_suite())
-    if (info.name == name) return fsm_benchmark_circuit(name);
-  for (const auto& lib : combinational_library_names())
-    if (lib == name) return combinational_library(name);
-  return read_bench_file(name);
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   using namespace ndet;
-  const CliArgs args(argc, argv, {"budget"});
+  const CliArgs args(argc, argv, {"budget", "threads"});
   const std::string name =
       args.positional().empty() ? "adder3" : args.positional()[0];
-  const std::size_t budget = args.get_u64("budget", 6);
+  // adder3's high-order sum bit depends on all 7 inputs, so the default
+  // budget must admit a 7-input cone.
+  const std::size_t budget = args.get_u64("budget", 7);
 
-  const Circuit circuit = resolve(name);
+  const Circuit circuit = resolve_circuit(name);
   std::printf("%s\n", to_string(compute_stats(circuit)).c_str());
   std::printf("partitioning with an exhaustive budget of %zu inputs per "
               "cone...\n\n", budget);
 
-  const auto reports = partitioned_worst_case(circuit, budget);
+  const auto reports = partitioned_worst_case(
+      circuit, budget, examples::analysis_options_from(args));
   TextTable table({"cone", "inputs", "outputs", "gates", "|G|",
                    "nmin<=10 %", "max nmin", "never"});
   for (const auto& report : reports)

@@ -1,6 +1,6 @@
 // worst_case_report.cpp -- the paper's Section-2 analysis as a CLI tool.
 //
-//   worst_case_report [circuit] [--nmax=10] [--detail=5]
+//   worst_case_report [circuit] [--nmax=10] [--detail=5] [--threads=0]
 //
 // `circuit` is an FSM benchmark name (e.g. bbara), an embedded combinational
 // circuit (e.g. c17), or a path to a .bench file.  The report covers
@@ -11,48 +11,36 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "common.hpp"
 #include "core/detection_db.hpp"
 #include "core/reports.hpp"
 #include "core/worst_case.hpp"
 #include "faults/stuck_at.hpp"
-#include "fsm/benchmarks.hpp"
-#include "netlist/bench_io.hpp"
-#include "netlist/library.hpp"
 #include "netlist/stats.hpp"
 #include "util/cli.hpp"
 
-namespace {
-
-ndet::Circuit resolve(const std::string& name) {
-  using namespace ndet;
-  for (const auto& info : fsm_benchmark_suite())
-    if (info.name == name) return fsm_benchmark_circuit(name);
-  for (const auto& lib : combinational_library_names())
-    if (lib == name) return combinational_library(name);
-  return read_bench_file(name);
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   using namespace ndet;
-  const CliArgs args(argc, argv, {"nmax", "detail"});
+  const CliArgs args(argc, argv, {"nmax", "detail", "threads"});
   const std::string name =
       args.positional().empty() ? "bbara" : args.positional()[0];
   const auto nmax = args.get_u64("nmax", 10);
   const auto detail = args.get_u64("detail", 5);
 
-  const Circuit circuit = resolve(name);
+  const Circuit circuit = resolve_circuit(name);
   std::printf("%s\n\n", to_string(compute_stats(circuit)).c_str());
 
-  const DetectionDb db = DetectionDb::build(circuit);
+  const DetectionDb db =
+      DetectionDb::build(circuit, examples::db_options_from(args));
   std::printf("targets F: %zu collapsed stuck-at faults (%zu detectable)\n",
               db.targets().size(), db.detectable_target_count());
   std::printf("untargeted G: %zu detectable four-way bridging faults "
-              "(of %zu enumerated)\n\n",
+              "(of %zu enumerated)\n",
               db.untargeted().size(), db.enumerated_untargeted());
+  std::printf("%s\n\n", describe_set_memory(db).c_str());
 
-  const WorstCaseResult worst = analyze_worst_case(db);
+  const WorstCaseResult worst =
+      analyze_worst_case(db, examples::analysis_options_from(args));
   std::printf("guaranteed coverage of any n-detection test set:\n");
   for (std::uint64_t n = 1; n <= nmax; ++n)
     std::printf("  n = %2llu: %7.2f%%\n", static_cast<unsigned long long>(n),

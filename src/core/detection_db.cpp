@@ -1,5 +1,7 @@
 #include "core/detection_db.hpp"
 
+#include <utility>
+
 #include "netlist/reach.hpp"
 #include "sim/batch_fault_sim.hpp"
 #include "sim/exhaustive.hpp"
@@ -11,6 +13,7 @@ DetectionDb DetectionDb::build(const Circuit& circuit,
   DetectionDb db;
   db.circuit_ = std::make_shared<const Circuit>(circuit);
   db.lines_ = std::make_shared<const LineModel>(*db.circuit_);
+  db.representation_ = options.representation;
 
   const ExhaustiveSimulator good(*db.circuit_, options.max_inputs);
   db.vector_count_ = good.vector_count();
@@ -19,7 +22,11 @@ DetectionDb DetectionDb::build(const Circuit& circuit,
 
   // F: collapsed single stuck-at faults, with their detection sets.
   db.targets_ = collapse_stuck_at_faults(*db.lines_);
-  db.target_sets_ = simulator.detection_sets(db.targets_);
+  std::vector<Bitset> target_sets = simulator.detection_sets(db.targets_);
+  db.target_sets_.reserve(target_sets.size());
+  for (Bitset& set : target_sets)
+    db.target_sets_.push_back(
+        DetectionSet::freeze(std::move(set), options.representation));
 
   // G: four-way bridging faults, keeping only the detectable ones.
   const ReachMatrix reach(*db.circuit_);
@@ -30,24 +37,53 @@ DetectionDb DetectionDb::build(const Circuit& circuit,
   for (std::size_t i = 0; i < enumerated.size(); ++i) {
     if (enumerated_sets[i].none()) continue;
     db.untargeted_.push_back(enumerated[i]);
-    db.untargeted_sets_.push_back(std::move(enumerated_sets[i]));
+    db.untargeted_sets_.push_back(DetectionSet::freeze(
+        std::move(enumerated_sets[i]), options.representation));
   }
   return db;
 }
 
 std::size_t DetectionDb::detectable_target_count() const {
   std::size_t count = 0;
-  for (const Bitset& set : target_sets_)
+  for (const DetectionSet& set : target_sets_)
     if (set.any()) ++count;
   return count;
 }
 
-std::vector<Bitset> transpose_detection_sets(std::span<const Bitset> sets,
-                                             std::uint64_t vector_count) {
+std::size_t DetectionDb::set_memory_bytes() const {
+  std::size_t total = 0;
+  for (const DetectionSet& set : target_sets_) total += set.memory_bytes();
+  for (const DetectionSet& set : untargeted_sets_) total += set.memory_bytes();
+  return total;
+}
+
+std::size_t DetectionDb::dense_memory_bytes() const {
+  return (target_sets_.size() + untargeted_sets_.size()) *
+         DetectionSet::dense_memory_bytes(
+             static_cast<std::size_t>(vector_count_));
+}
+
+namespace {
+
+template <typename Set>
+std::vector<Bitset> transpose_impl(std::span<const Set> sets,
+                                   std::uint64_t vector_count) {
   std::vector<Bitset> rows(vector_count, Bitset(sets.size()));
   for (std::size_t i = 0; i < sets.size(); ++i)
     sets[i].for_each_set([&](std::size_t v) { rows[v].set(i); });
   return rows;
+}
+
+}  // namespace
+
+std::vector<Bitset> transpose_detection_sets(std::span<const Bitset> sets,
+                                             std::uint64_t vector_count) {
+  return transpose_impl(sets, vector_count);
+}
+
+std::vector<Bitset> transpose_detection_sets(std::span<const DetectionSet> sets,
+                                             std::uint64_t vector_count) {
+  return transpose_impl(sets, vector_count);
 }
 
 }  // namespace ndet

@@ -8,6 +8,14 @@
 // owns those sets for one circuit.  Everything downstream -- worst-case
 // analysis, Procedure 1, both report generators -- reads from here, so the
 // expensive exhaustive simulation runs exactly once per circuit.
+//
+// Sets are frozen into the adaptive DetectionSet representation at build
+// time (DetectionDbOptions::representation): each T is stored dense or
+// sorted-sparse by whichever payload is smaller, which typically shrinks
+// the database severalfold on circuits whose bridging faults are detected
+// by a handful of vectors.  All downstream kernels are exact across
+// representations, so analysis results are bit-identical to an all-dense
+// database.
 
 #pragma once
 
@@ -22,6 +30,7 @@
 #include "netlist/circuit.hpp"
 #include "netlist/lines.hpp"
 #include "util/bitset.hpp"
+#include "util/detection_set.hpp"
 
 namespace ndet {
 
@@ -29,6 +38,8 @@ namespace ndet {
 struct DetectionDbOptions {
   int max_inputs = 20;       ///< exhaustive-simulation input limit
   unsigned num_threads = 0;  ///< fault-simulation workers; 0 = all hardware threads
+  /// Storage policy for the frozen T(f)/T(g) sets.
+  SetRepresentation representation = SetRepresentation::kAdaptive;
 };
 
 /// Exhaustive detection sets of one circuit.
@@ -51,18 +62,29 @@ class DetectionDb {
   /// they are inert in every analysis since their T(f) is empty).
   const std::vector<StuckAtFault>& targets() const { return targets_; }
   /// T(f), index-aligned with targets().
-  const std::vector<Bitset>& target_sets() const { return target_sets_; }
+  const std::vector<DetectionSet>& target_sets() const { return target_sets_; }
 
   /// G: detectable four-way bridging faults.
   const std::vector<BridgingFault>& untargeted() const { return untargeted_; }
   /// T(g), index-aligned with untargeted().
-  const std::vector<Bitset>& untargeted_sets() const { return untargeted_sets_; }
+  const std::vector<DetectionSet>& untargeted_sets() const {
+    return untargeted_sets_;
+  }
 
   /// Bridging faults enumerated before the detectability filter.
   std::size_t enumerated_untargeted() const { return enumerated_untargeted_; }
 
   /// Number of detectable target faults.
   std::size_t detectable_target_count() const;
+
+  /// The storage policy the sets were frozen under.
+  SetRepresentation representation() const { return representation_; }
+
+  /// Payload bytes of all stored detection sets under the chosen policy.
+  std::size_t set_memory_bytes() const;
+
+  /// Payload bytes the same sets would occupy stored all-dense.
+  std::size_t dense_memory_bytes() const;
 
  private:
   DetectionDb() = default;
@@ -71,16 +93,19 @@ class DetectionDb {
   std::shared_ptr<const LineModel> lines_;
   std::uint64_t vector_count_ = 0;
   std::vector<StuckAtFault> targets_;
-  std::vector<Bitset> target_sets_;
+  std::vector<DetectionSet> target_sets_;
   std::vector<BridgingFault> untargeted_;
-  std::vector<Bitset> untargeted_sets_;
+  std::vector<DetectionSet> untargeted_sets_;
   std::size_t enumerated_untargeted_ = 0;
+  SetRepresentation representation_ = SetRepresentation::kAdaptive;
 };
 
 /// Transposes detection sets: given sets[i] over U, returns per-vector sets
 /// over the fault indices (rows[v].test(i) == sets[i].test(v)).  Used by
 /// Procedure 1 to update detection counts incrementally as tests are added.
 std::vector<Bitset> transpose_detection_sets(std::span<const Bitset> sets,
+                                             std::uint64_t vector_count);
+std::vector<Bitset> transpose_detection_sets(std::span<const DetectionSet> sets,
                                              std::uint64_t vector_count);
 
 }  // namespace ndet

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ndet {
 
@@ -112,11 +113,25 @@ std::vector<Circuit> partition_by_outputs(const Circuit& circuit,
 }
 
 std::vector<ConeReport> partitioned_worst_case(const Circuit& circuit,
-                                               std::size_t max_inputs) {
-  std::vector<ConeReport> reports;
-  for (const Circuit& cone : partition_by_outputs(circuit, max_inputs)) {
-    const DetectionDb db = DetectionDb::build(cone);
-    const WorstCaseResult worst = analyze_worst_case(db);
+                                               std::size_t max_inputs,
+                                               const AnalysisOptions& options) {
+  const std::vector<Circuit> cones = partition_by_outputs(circuit, max_inputs);
+  std::vector<ConeReport> reports(cones.size());
+  // One worker per cone, with the pool width split evenly among the cones'
+  // nested builds and sweeps (full width for a single cone).  The static
+  // floor division can idle a few threads on uneven partitions -- accepted
+  // in exchange for never oversubscribing.  Thread counts never change
+  // results, only wall time; each worker writes only its own slot.
+  const ThreadPool pool(options.num_threads);
+  const unsigned outer = std::max(1u, pool.workers_for(cones.size()));
+  const unsigned inner = std::max(1u, pool.thread_count() / outer);
+  pool.for_each_index(cones.size(), [&](std::size_t c, unsigned) {
+    const Circuit& cone = cones[c];
+    DetectionDbOptions db_options;
+    db_options.num_threads = inner;
+    const DetectionDb db = DetectionDb::build(cone, db_options);
+    const WorstCaseResult worst =
+        analyze_worst_case(db, {.num_threads = inner});
     ConeReport report;
     report.cone_name = cone.name();
     report.inputs = cone.input_count();
@@ -126,8 +141,8 @@ std::vector<ConeReport> partitioned_worst_case(const Circuit& circuit,
     report.fraction_nmin_at_most_10 = worst.fraction_at_most(10);
     report.max_finite_nmin = worst.max_finite_nmin();
     report.never_guaranteed = worst.count_at_least(kNeverGuaranteed);
-    reports.push_back(std::move(report));
-  }
+    reports[c] = std::move(report);
+  });
   return reports;
 }
 

@@ -50,7 +50,13 @@ struct ConeReport {
 };
 
 /// Partitions the circuit and runs the worst-case analysis on every cone.
-std::vector<ConeReport> partitioned_worst_case(const Circuit& circuit,
-                                               std::size_t max_inputs);
+/// Cones are independent, so they are sharded across the worker pool
+/// (options.num_threads), and the remaining pool width is split evenly
+/// among the cones' nested builds/sweeps (a single cone gets the full
+/// pool).  Reports are index-aligned with the cone list, so the output is
+/// identical at every thread count.
+std::vector<ConeReport> partitioned_worst_case(
+    const Circuit& circuit, std::size_t max_inputs,
+    const AnalysisOptions& options = {});
 
 }  // namespace ndet

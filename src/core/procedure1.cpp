@@ -71,8 +71,9 @@ AverageCaseResult run_procedure1(const DetectionDb& db,
   // Per-vector transposes: which targets / monitored faults does vector v
   // detect?  These make every test addition O(detected faults).
   const std::vector<Bitset> target_rows =
-      transpose_detection_sets(target_sets, vectors);
-  std::vector<Bitset> monitored_sets;
+      transpose_detection_sets(std::span<const DetectionSet>(target_sets),
+                               vectors);
+  std::vector<DetectionSet> monitored_sets;
   monitored_sets.reserve(monitored.size());
   for (const std::size_t j : monitored) {
     require(j < db.untargeted().size(),
@@ -80,7 +81,8 @@ AverageCaseResult run_procedure1(const DetectionDb& db,
     monitored_sets.push_back(db.untargeted_sets()[j]);
   }
   const std::vector<Bitset> monitored_rows =
-      transpose_detection_sets(monitored_sets, vectors);
+      transpose_detection_sets(std::span<const DetectionSet>(monitored_sets),
+                               vectors);
 
   // Independent RNG stream per set: the iteration order of faults cannot
   // leak across sets, keeping the K sets statistically independent.
@@ -112,7 +114,7 @@ AverageCaseResult run_procedure1(const DetectionDb& db,
   const auto refresh_def2 = [&](std::size_t k, std::size_t i) -> Def2State& {
     Def2State& st = def2_state[k][i];
     const auto& order = sets[k].order;
-    const Bitset& tf = target_sets[i];
+    const DetectionSet& tf = target_sets[i];
     while (st.cursor < order.size()) {
       const std::uint32_t t = order[st.cursor++];
       if (!tf.test(t)) continue;
@@ -136,7 +138,7 @@ AverageCaseResult run_procedure1(const DetectionDb& db,
 
   for (int n = 1; n <= config.nmax; ++n) {
     for (std::size_t i = 0; i < num_targets; ++i) {
-      const Bitset& tf = target_sets[i];
+      const DetectionSet& tf = target_sets[i];
       const std::size_t n_f = tf.count();
       if (n_f == 0) continue;  // undetectable target: inert
       for (std::size_t k = 0; k < k_sets; ++k) {
@@ -169,11 +171,11 @@ AverageCaseResult run_procedure1(const DetectionDb& db,
         std::uint32_t chosen = 0;
         bool found = false;
         if (available <= 64) {
-          // Small difference: enumerate and pick uniformly among candidates.
+          // Small difference: enumerate T(f_i) - T_k in ascending order and
+          // pick uniformly among the candidates.
           std::vector<std::uint32_t> candidates;
-          Bitset diff = tf;
-          diff.and_not(state.members);
-          diff.for_each_set([&](std::size_t v) {
+          tf.for_each_set([&](std::size_t v) {
+            if (state.members.test(v)) return;
             if (is_distinct_candidate(static_cast<std::uint32_t>(v)))
               candidates.push_back(static_cast<std::uint32_t>(v));
           });

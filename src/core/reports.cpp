@@ -151,6 +151,21 @@ std::vector<std::pair<std::uint64_t, std::size_t>> figure2_histogram(
   return out;
 }
 
+std::string describe_set_memory(const DetectionDb& db) {
+  std::size_t sparse = 0;
+  const std::size_t total =
+      db.target_sets().size() + db.untargeted_sets().size();
+  for (const DetectionSet& set : db.target_sets())
+    if (set.representation() == DetectionSet::Rep::kSparse) ++sparse;
+  for (const DetectionSet& set : db.untargeted_sets())
+    if (set.representation() == DetectionSet::Rep::kSparse) ++sparse;
+  std::ostringstream os;
+  os << "detection-set storage: " << db.set_memory_bytes() << " bytes ("
+     << sparse << " of " << total << " sets sparse; all-dense would be "
+     << db.dense_memory_bytes() << " bytes)";
+  return os.str();
+}
+
 std::string render_figure2(
     const std::vector<std::pair<std::uint64_t, std::size_t>>& histogram) {
   std::size_t max_count = 1;

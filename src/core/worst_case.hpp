@@ -11,6 +11,13 @@
 // (and for n < nmin(g) a test set avoiding g exists, so the bound is exact).
 // When no target fault's tests overlap T(g), no value of n ever guarantees
 // detection; nmin(g) = kNeverGuaranteed.
+//
+// analyze_worst_case shards the per-g sweeps across a ThreadPool (each g is
+// independent and writes only its own slot, so results are bit-identical at
+// every thread count) and prunes each sweep algebraically: with targets
+// visited in ascending N(f) order, M(g,f) <= |T(g)| bounds every candidate
+// below by N(f) - |T(g)| + 1, so the scan stops as soon as that bound
+// reaches the best candidate found -- no later target can improve it.
 
 #pragma once
 
@@ -50,12 +57,21 @@ struct WorstCaseResult {
 };
 
 /// nmin against a specific target-fault family: min over overlapping f of
-/// N(f) - M(g,f) + 1.  Exposed for reuse by the partition analysis.
-std::uint64_t nmin_of(const Bitset& untargeted_set,
-                      std::span<const Bitset> target_sets);
+/// N(f) - M(g,f) + 1.  The reference (unpruned, serial) kernel; the
+/// equivalence tests hold analyze_worst_case's pruned sweep to it.
+std::uint64_t nmin_of(const DetectionSet& untargeted_set,
+                      std::span<const DetectionSet> target_sets);
 
-/// Runs the worst-case analysis for every fault in G.
-WorstCaseResult analyze_worst_case(const DetectionDb& db);
+/// Options for the analysis sweeps.
+struct AnalysisOptions {
+  unsigned num_threads = 0;  ///< analysis workers; 0 = all hardware threads
+};
+
+/// Runs the worst-case analysis for every fault in G, sharded across the
+/// worker pool with the N(f)-sorted prune.  Bit-identical to the serial
+/// unpruned nmin_of sweep at every thread count.
+WorstCaseResult analyze_worst_case(const DetectionDb& db,
+                                   const AnalysisOptions& options = {});
 
 /// Table-1-style drill-down for one untargeted fault: every target fault
 /// with overlapping tests, with N(f), M(g,f) and nmin(g,f).

@@ -5,6 +5,8 @@
 #include <optional>
 #include <sstream>
 
+#include "netlist/bench_io.hpp"
+#include "netlist/library.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -404,6 +406,20 @@ Circuit fsm_benchmark_circuit(const std::string& name, StateEncoding encoding) {
   if (const SyntheticSpec* spec = find_synthetic(name))
     options.max_fanin = spec->fanin;
   return synthesize_fsm(fsm_benchmark(name), options);
+}
+
+Circuit resolve_circuit(const std::string& name) {
+  for (const FsmBenchmarkInfo& info : fsm_benchmark_suite())
+    if (info.name == name) return fsm_benchmark_circuit(name);
+  for (const std::string& lib : combinational_library_names())
+    if (lib == name) return combinational_library(name);
+  const bool bench_path =
+      (name.size() > 6 && name.substr(name.size() - 6) == ".bench") ||
+      name.find('/') != std::string::npos;
+  if (bench_path) return read_bench_file(name);
+  throw contract_error(
+      "unknown circuit '" + name +
+      "' (expected an FSM benchmark, an embedded circuit, or a .bench path)");
 }
 
 }  // namespace ndet

@@ -50,6 +50,14 @@ Kiss2Fsm fsm_benchmark(const std::string& name);
 Circuit fsm_benchmark_circuit(const std::string& name,
                               StateEncoding encoding = StateEncoding::kBinary);
 
+/// The shared circuit lookup of every CLI (examples and bench harnesses):
+/// a suite machine (binary encoding), an embedded combinational circuit,
+/// or a path to a .bench file (recognized by a ".bench" suffix or a path
+/// separator).  Any other name throws a contract_error listing the
+/// accepted forms, so typos get a curated message instead of a file-open
+/// failure.
+Circuit resolve_circuit(const std::string& name);
+
 /// Deterministic synthetic machine generator (exposed for tests and
 /// ablations).  For every state the input space is partitioned into
 /// 2^depth cubes over `depth` randomly chosen inputs (depth derived from

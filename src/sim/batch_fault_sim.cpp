@@ -1,14 +1,11 @@
 #include "sim/batch_fault_sim.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <exception>
 #include <limits>
-#include <mutex>
-#include <thread>
 
 #include "logic/eval.hpp"
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ndet {
 
@@ -19,9 +16,7 @@ BatchFaultSimulator::BatchFaultSimulator(const ExhaustiveSimulator& good,
   require(&good.circuit() == &lines.circuit(),
           "BatchFaultSimulator: simulator and line model refer to different "
           "circuits");
-  unsigned threads = options.num_threads;
-  if (threads == 0) threads = std::thread::hardware_concurrency();
-  num_threads_ = std::max(1u, threads);
+  num_threads_ = resolve_thread_count(options.num_threads);
   build_cones();
 }
 
@@ -220,41 +215,16 @@ std::vector<Bitset> BatchFaultSimulator::run_batch(
   std::vector<Bitset> sets(faults.size());
   if (faults.empty()) return sets;
 
-  const std::size_t fault_count = faults.size();
-  const unsigned workers = static_cast<unsigned>(
-      std::min<std::size_t>(num_threads_, fault_count));
-
-  std::atomic<std::size_t> next{0};
-  std::atomic<bool> failed{false};
-  std::mutex error_mutex;
-  std::exception_ptr error;
-
-  auto work = [&]() {
-    try {
-      Scratch scratch = make_scratch();
-      for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-           i < fault_count && !failed.load(std::memory_order_relaxed);
-           i = next.fetch_add(1, std::memory_order_relaxed)) {
-        Bitset set(good_->vector_count());
-        simulate_into(injection_for(faults[i]), scratch, set);
-        sets[i] = std::move(set);
-      }
-    } catch (...) {
-      failed.store(true, std::memory_order_relaxed);
-      const std::lock_guard<std::mutex> lock(error_mutex);
-      if (!error) error = std::current_exception();
-    }
-  };
-
-  if (workers <= 1) {
-    work();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (unsigned t = 0; t < workers; ++t) pool.emplace_back(work);
-    for (std::thread& thread : pool) thread.join();
-  }
-  if (error) std::rethrow_exception(error);
+  const ThreadPool pool(num_threads_);
+  // One scratch arena per worker, reused across all its faults -- zero
+  // allocations in steady state.
+  std::vector<Scratch> scratch(pool.workers_for(faults.size()));
+  for (Scratch& s : scratch) s = make_scratch();
+  pool.for_each_index(faults.size(), [&](std::size_t i, unsigned worker) {
+    Bitset set(good_->vector_count());
+    simulate_into(injection_for(faults[i]), scratch[worker], set);
+    sets[i] = std::move(set);
+  });
   return sets;
 }
 

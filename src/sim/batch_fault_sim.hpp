@@ -18,10 +18,11 @@
 //     word a gate is re-evaluated only when one of its fanins actually
 //     changed.  Gate functions are deterministic, so the skipped work could
 //     only have reproduced fault-free values -- results stay bit-identical;
-//   * batch calls fan the fault list out across a std::thread pool with
-//     dynamic (atomic counter) scheduling.  Results are written into
-//     index-aligned slots, so the output is deterministic and independent of
-//     the thread count and of scheduling order.
+//   * batch calls fan the fault list out across the shared ThreadPool
+//     (util/thread_pool.hpp) with dynamic (atomic counter) scheduling.
+//     Results are written into index-aligned slots, so the output is
+//     deterministic and independent of the thread count and of scheduling
+//     order.
 //
 // Injection semantics are identical to FaultSimulator (stem stuck-at, branch
 // stuck-at, four-way non-feedback bridging), and the computed T(f)/T(g) sets

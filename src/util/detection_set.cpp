@@ -1,0 +1,153 @@
+#include "util/detection_set.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+namespace ndet {
+
+DetectionSet DetectionSet::freeze(Bitset bits, SetRepresentation policy) {
+  require(bits.size() <= std::numeric_limits<std::uint32_t>::max(),
+          "DetectionSet::freeze: universe does not fit 32-bit elements");
+  DetectionSet set;
+  set.universe_ = bits.size();
+  set.count_ = bits.count();
+
+  const std::size_t sparse_bytes = set.count_ * sizeof(std::uint32_t);
+  const bool sparse =
+      policy == SetRepresentation::kSparse ||
+      (policy == SetRepresentation::kAdaptive &&
+       sparse_bytes < dense_memory_bytes(set.universe_));
+  if (sparse) {
+    set.rep_ = Rep::kSparse;
+    set.sparse_.reserve(set.count_);
+    bits.for_each_set([&](std::size_t v) {
+      set.sparse_.push_back(static_cast<std::uint32_t>(v));
+    });
+  } else {
+    set.rep_ = Rep::kDense;
+    set.dense_ = std::move(bits);
+  }
+  return set;
+}
+
+std::size_t DetectionSet::memory_bytes() const {
+  return rep_ == Rep::kDense
+             ? dense_.word_count() * sizeof(Bitset::word_type)
+             : sparse_.size() * sizeof(std::uint32_t);
+}
+
+bool DetectionSet::test(std::size_t i) const {
+  require(i < universe_, "DetectionSet::test: index out of range");
+  if (rep_ == Rep::kDense) return dense_.test(i);
+  return std::binary_search(sparse_.begin(), sparse_.end(),
+                            static_cast<std::uint32_t>(i));
+}
+
+namespace {
+
+/// Sorted-merge intersection cardinality of two sparse element vectors.
+std::size_t sparse_sparse_intersect(const std::vector<std::uint32_t>& a,
+                                    const std::vector<std::uint32_t>& b) {
+  std::size_t total = 0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++total;
+      ++i;
+      ++j;
+    }
+  }
+  return total;
+}
+
+/// |sparse & dense| -- one dense probe per sparse element.
+std::size_t sparse_dense_intersect(const std::vector<std::uint32_t>& sparse,
+                                   const Bitset& dense) {
+  std::size_t total = 0;
+  for (const std::uint32_t v : sparse)
+    if (dense.test(v)) ++total;
+  return total;
+}
+
+}  // namespace
+
+bool DetectionSet::intersects(const DetectionSet& other) const {
+  require_same_universe(other.universe_, "intersects");
+  if (rep_ == Rep::kDense && other.rep_ == Rep::kDense)
+    return dense_.intersects(other.dense_);
+  if (rep_ == Rep::kSparse && other.rep_ == Rep::kSparse) {
+    std::size_t i = 0, j = 0;
+    while (i < sparse_.size() && j < other.sparse_.size()) {
+      if (sparse_[i] < other.sparse_[j]) ++i;
+      else if (other.sparse_[j] < sparse_[i]) ++j;
+      else return true;
+    }
+    return false;
+  }
+  const DetectionSet& sparse = rep_ == Rep::kSparse ? *this : other;
+  const DetectionSet& dense = rep_ == Rep::kSparse ? other : *this;
+  for (const std::uint32_t v : sparse.sparse_)
+    if (dense.dense_.test(v)) return true;
+  return false;
+}
+
+std::size_t DetectionSet::intersect_count(const DetectionSet& other) const {
+  require_same_universe(other.universe_, "intersect_count");
+  if (rep_ == Rep::kDense && other.rep_ == Rep::kDense)
+    return dense_.intersect_count(other.dense_);
+  if (rep_ == Rep::kSparse && other.rep_ == Rep::kSparse)
+    return sparse_sparse_intersect(sparse_, other.sparse_);
+  const DetectionSet& sparse = rep_ == Rep::kSparse ? *this : other;
+  const DetectionSet& dense = rep_ == Rep::kSparse ? other : *this;
+  return sparse_dense_intersect(sparse.sparse_, dense.dense_);
+}
+
+std::size_t DetectionSet::intersect_count(const Bitset& other) const {
+  require_same_universe(other.size(), "intersect_count");
+  if (rep_ == Rep::kDense) return dense_.intersect_count(other);
+  return sparse_dense_intersect(sparse_, other);
+}
+
+std::size_t DetectionSet::and_not_count(const Bitset& other) const {
+  require_same_universe(other.size(), "and_not_count");
+  if (rep_ == Rep::kDense) return dense_.and_not_count(other);
+  return sparse_.size() - sparse_dense_intersect(sparse_, other);
+}
+
+std::size_t DetectionSet::nth_in_difference(const Bitset& other,
+                                            std::size_t rank) const {
+  require_same_universe(other.size(), "nth_in_difference");
+  if (rep_ == Rep::kDense) return dense_.nth_in_difference(other, rank);
+  for (const std::uint32_t v : sparse_) {
+    if (other.test(v)) continue;
+    if (rank == 0) return v;
+    --rank;
+  }
+  throw contract_error("DetectionSet::nth_in_difference: rank out of range");
+}
+
+Bitset DetectionSet::to_bitset() const {
+  if (rep_ == Rep::kDense) return dense_;
+  Bitset bits(universe_);
+  for (const std::uint32_t v : sparse_) bits.set(v);
+  return bits;
+}
+
+bool DetectionSet::operator==(const DetectionSet& other) const {
+  if (universe_ != other.universe_ || count_ != other.count_) return false;
+  if (rep_ == Rep::kDense && other.rep_ == Rep::kDense)
+    return dense_ == other.dense_;
+  if (rep_ == Rep::kSparse && other.rep_ == Rep::kSparse)
+    return sparse_ == other.sparse_;
+  // Mixed: equal counts + sparse subset-of-dense implies equality.
+  const DetectionSet& sparse = rep_ == Rep::kSparse ? *this : other;
+  const DetectionSet& dense = rep_ == Rep::kSparse ? other : *this;
+  return sparse_dense_intersect(sparse.sparse_, dense.dense_) == count_;
+}
+
+}  // namespace ndet

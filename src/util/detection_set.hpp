@@ -1,0 +1,138 @@
+// detection_set.hpp -- the adaptive (dense or sorted-sparse) detection set.
+//
+// Every analysis in the repository is a function of frozen detection sets:
+// T(f) and T(g) are computed once by the fault simulator and then only
+// queried (count, intersection cardinality, sampling out of a difference).
+// A dense 2^PI-bit Bitset is the right shape for sets covering a sizeable
+// fraction of U, but most bridging faults are detected by a handful of
+// vectors -- storing those dense wastes memory and, worse, makes every
+// intersection sweep touch the whole universe.  DetectionSet freezes a
+// Bitset into one of two physical representations:
+//
+//   * kDense  -- the Bitset itself (word-parallel kernels), or
+//   * kSparse -- a sorted std::uint32_t element vector,
+//
+// chosen at freeze time by whichever payload is smaller (sparse wins when
+// |T| * 32 bits undercuts the |U|-bit array; see DESIGN.md "Detection-set
+// representation").  All query kernels -- count / test / intersects /
+// intersect_count / and_not_count / nth_in_difference / for_each_set --
+// are provided for every representation pairing (dense x dense,
+// dense x sparse, sparse x sparse) and are exact: results are bit-identical
+// to the all-dense baseline no matter which representations were chosen.
+// The cardinality is cached at freeze time, so N(f) lookups are O(1).
+//
+// Mutable sets under construction (Procedure 1's T_k, the compactor's test
+// sets) stay plain Bitsets; the Bitset-facing kernels below serve exactly
+// that frozen-vs-mutable pairing.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/bitset.hpp"
+#include "util/check.hpp"
+
+namespace ndet {
+
+/// Storage policy applied when freezing detection sets.
+enum class SetRepresentation {
+  kAdaptive,  ///< per-set: whichever representation has the smaller payload
+  kDense,     ///< always the Bitset (the pre-refactor behaviour)
+  kSparse,    ///< always the sorted element vector (for tests/ablation)
+};
+
+/// An immutable detection set over a fixed universe, stored dense or sparse.
+class DetectionSet {
+ public:
+  /// Physical representation actually chosen at freeze time.
+  enum class Rep : std::uint8_t { kDense, kSparse };
+
+  /// Empty set over an empty universe.
+  DetectionSet() = default;
+
+  /// Freezes `bits` under `policy`.  The universe must be addressable with
+  /// 32-bit elements (checked); every universe here is 2^PI with PI <= ~20.
+  static DetectionSet freeze(Bitset bits,
+                             SetRepresentation policy = SetRepresentation::kAdaptive);
+
+  /// Number of elements in the universe (not the number of set elements).
+  std::size_t universe_size() const { return universe_; }
+
+  Rep representation() const { return rep_; }
+
+  /// Payload bytes of the chosen representation (what the set actually
+  /// stores; excludes the fixed per-object header).
+  std::size_t memory_bytes() const;
+
+  /// Payload bytes a dense representation of this universe would need.
+  static std::size_t dense_memory_bytes(std::size_t universe_size) {
+    return ((universe_size + Bitset::kWordBits - 1) / Bitset::kWordBits) *
+           sizeof(Bitset::word_type);
+  }
+
+  /// |T| -- cached at freeze time.
+  std::size_t count() const { return count_; }
+  bool any() const { return count_ != 0; }
+  bool none() const { return count_ == 0; }
+
+  /// Membership test.
+  bool test(std::size_t i) const;
+
+  /// True when this and `other` share at least one element (early exit).
+  bool intersects(const DetectionSet& other) const;
+
+  /// |this & other| without materializing the intersection -- the M(g,f)
+  /// kernel of the worst-case analysis, for every representation pairing.
+  std::size_t intersect_count(const DetectionSet& other) const;
+
+  /// |this \ other|.
+  std::size_t and_not_count(const DetectionSet& other) const {
+    return count_ - intersect_count(other);
+  }
+
+  // --- kernels against a mutable (dense) set ------------------------------
+
+  std::size_t intersect_count(const Bitset& other) const;
+
+  /// |this \ other| against a mutable Bitset (Procedure 1: |T(f) - T_k|).
+  std::size_t and_not_count(const Bitset& other) const;
+
+  /// Element of (this \ other) with rank `rank` (0-based, increasing order).
+  /// Precondition: rank < and_not_count(other).  Procedure 1's sampling
+  /// primitive: picking a uniformly random test out of T(f) - T_k.
+  std::size_t nth_in_difference(const Bitset& other, std::size_t rank) const;
+
+  /// Calls `fn(index)` for every element in increasing order.
+  template <typename Fn>
+  void for_each_set(Fn&& fn) const {
+    if (rep_ == Rep::kDense) {
+      dense_.for_each_set(fn);
+    } else {
+      for (const std::uint32_t v : sparse_) fn(static_cast<std::size_t>(v));
+    }
+  }
+
+  /// Materializes the set as a dense Bitset over the same universe.
+  Bitset to_bitset() const;
+
+  /// Set equality (same universe, same elements), regardless of the
+  /// physical representations of the operands.
+  bool operator==(const DetectionSet& other) const;
+
+ private:
+  void require_same_universe(std::size_t other_universe, const char* op) const {
+    if (universe_ != other_universe)
+      throw contract_error(std::string("DetectionSet::") + op +
+                           ": universe mismatch between operands");
+  }
+
+  std::size_t universe_ = 0;
+  std::size_t count_ = 0;
+  Rep rep_ = Rep::kDense;
+  Bitset dense_;                       ///< populated when rep_ == kDense
+  std::vector<std::uint32_t> sparse_;  ///< populated when rep_ == kSparse
+};
+
+}  // namespace ndet

@@ -1,0 +1,44 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ndet {
+
+unsigned resolve_thread_count(unsigned requested) {
+  if (requested == 0) requested = std::thread::hardware_concurrency();
+  return std::max(1u, requested);
+}
+
+void ThreadPool::run_workers(unsigned workers,
+                             const std::function<void(unsigned)>& worker,
+                             std::atomic<bool>& failed) {
+  if (workers <= 1) {
+    // Serial fallback on the calling thread; exceptions propagate directly.
+    worker(0);
+    return;
+  }
+
+  std::mutex error_mutex;
+  std::exception_ptr error;
+  const auto guarded = [&](unsigned id) {
+    try {
+      worker(id);
+    } catch (...) {
+      failed.store(true, std::memory_order_relaxed);
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      if (!error) error = std::current_exception();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned t = 0; t < workers; ++t) pool.emplace_back(guarded, t);
+  for (std::thread& thread : pool) thread.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace ndet

@@ -1,0 +1,78 @@
+// thread_pool.hpp -- the shared fork-join worker pool.
+//
+// Every parallel sweep in the repository (batched fault simulation, the
+// worst-case nmin analysis, the partitioned analysis) follows the same
+// discipline: an index space is fanned out across std::thread workers with
+// dynamic (atomic counter) scheduling, results are written into
+// index-aligned slots so the output is deterministic and independent of the
+// thread count, and the first worker exception aborts the remaining work and
+// is rethrown on the caller.  ThreadPool centralizes that discipline; it was
+// extracted from sim/batch_fault_sim.cpp so the analysis layer can reuse it
+// instead of growing a second hand-rolled pool.
+//
+// The pool is fork-join per call, not persistent: threads are spawned for
+// one for_each_index and joined before it returns.  That keeps call sites
+// free of lifetime concerns and matches the workloads here, where each call
+// processes an entire fault list and thread start-up cost is noise.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+
+namespace ndet {
+
+/// Resolves a requested worker count: 0 means "all hardware threads",
+/// clamped to at least 1.
+unsigned resolve_thread_count(unsigned requested);
+
+/// Fork-join worker pool with dynamic index scheduling.
+class ThreadPool {
+ public:
+  /// `num_threads` = 0 picks std::thread::hardware_concurrency.
+  explicit ThreadPool(unsigned num_threads = 0)
+      : num_threads_(resolve_thread_count(num_threads)) {}
+
+  /// Resolved worker-pool width.
+  unsigned thread_count() const { return num_threads_; }
+
+  /// Workers actually spawned for an index space of `count` elements.
+  unsigned workers_for(std::size_t count) const {
+    return count < num_threads_ ? static_cast<unsigned>(count) : num_threads_;
+  }
+
+  /// Calls `body(index, worker)` once for every index in [0, count), fanned
+  /// out across min(thread_count, count) workers with dynamic scheduling.
+  /// `worker` is a dense id in [0, workers_for(count)) -- use it to index
+  /// per-worker scratch state.  Determinism contract: as long as `body`
+  /// writes only to slot `index`, results are independent of the thread
+  /// count and of scheduling order.  The first exception thrown by any
+  /// worker stops the remaining work and is rethrown on the caller.
+  template <typename Body>
+  void for_each_index(std::size_t count, Body&& body) const {
+    if (count == 0) return;
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    run_workers(workers_for(count), [&](unsigned worker) {
+      for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+           i < count && !failed.load(std::memory_order_relaxed);
+           i = next.fetch_add(1, std::memory_order_relaxed)) {
+        body(i, worker);
+      }
+    }, failed);
+  }
+
+ private:
+  /// Spawns `workers` threads running `worker(id)`, joins them all, and
+  /// rethrows the first captured exception.  `failed` is set as soon as any
+  /// worker throws so the others can bail out of their scheduling loops.
+  /// A single worker runs on the calling thread.
+  static void run_workers(unsigned workers,
+                          const std::function<void(unsigned)>& worker,
+                          std::atomic<bool>& failed);
+
+  unsigned num_threads_;
+};
+
+}  // namespace ndet

@@ -11,11 +11,19 @@
 #include "faults/stuck_at.hpp"
 #include "netlist/lines.hpp"
 #include "util/bitset.hpp"
+#include "util/detection_set.hpp"
 
 namespace ndet::testing {
 
 /// Materializes a Bitset as a sorted vector of element ids.
 inline std::vector<std::uint64_t> to_vector(const Bitset& set) {
+  std::vector<std::uint64_t> out;
+  set.for_each_set([&](std::size_t v) { out.push_back(v); });
+  return out;
+}
+
+/// Materializes a frozen DetectionSet the same way.
+inline std::vector<std::uint64_t> to_vector(const DetectionSet& set) {
   std::vector<std::uint64_t> out;
   set.for_each_set([&](std::size_t v) { out.push_back(v); });
   return out;
@@ -27,6 +35,13 @@ inline Bitset make_set(std::size_t universe,
   Bitset set(universe);
   for (const auto v : elements) set.set(v);
   return set;
+}
+
+/// Builds a frozen DetectionSet over `universe` from an element list.
+inline DetectionSet make_detection_set(
+    std::size_t universe, const std::vector<std::uint64_t>& elements,
+    SetRepresentation policy = SetRepresentation::kAdaptive) {
+  return DetectionSet::freeze(make_set(universe, elements), policy);
 }
 
 /// Finds the index of a stuck-at fault (by line id and value) in a list;

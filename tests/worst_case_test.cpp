@@ -113,25 +113,27 @@ TEST_F(PaperDb, HistogramSumsToFaultCount) {
 
 TEST(NminOf, MinimumOverOverlappingTargets) {
   // Hand-built sets over a universe of 8 vectors.
-  const Bitset tg = testing::make_set(8, {0, 1});
-  const std::vector<Bitset> targets = {
-      testing::make_set(8, {0, 2, 3}),     // N=3, M=1 -> nmin 3
-      testing::make_set(8, {1}),           // N=1, M=1 -> nmin 1
-      testing::make_set(8, {4, 5, 6, 7}),  // disjoint -> ignored
+  const DetectionSet tg = testing::make_detection_set(8, {0, 1});
+  const std::vector<DetectionSet> targets = {
+      testing::make_detection_set(8, {0, 2, 3}),     // N=3, M=1 -> nmin 3
+      testing::make_detection_set(8, {1}),           // N=1, M=1 -> nmin 1
+      testing::make_detection_set(8, {4, 5, 6, 7}),  // disjoint -> ignored
   };
   EXPECT_EQ(nmin_of(tg, targets), 1u);
 }
 
 TEST(NminOf, NoOverlapMeansNeverGuaranteed) {
-  const Bitset tg = testing::make_set(8, {7});
-  const std::vector<Bitset> targets = {testing::make_set(8, {0, 1})};
+  const DetectionSet tg = testing::make_detection_set(8, {7});
+  const std::vector<DetectionSet> targets = {
+      testing::make_detection_set(8, {0, 1})};
   EXPECT_EQ(nmin_of(tg, targets), kNeverGuaranteed);
 }
 
 TEST(NminOf, SubsetTargetGivesOne) {
   // T(f) subset of T(g): every detection of f detects g.
-  const Bitset tg = testing::make_set(8, {2, 3, 4});
-  const std::vector<Bitset> targets = {testing::make_set(8, {3, 4})};
+  const DetectionSet tg = testing::make_detection_set(8, {2, 3, 4});
+  const std::vector<DetectionSet> targets = {
+      testing::make_detection_set(8, {3, 4})};
   EXPECT_EQ(nmin_of(tg, targets), 1u);
 }
 
@@ -142,13 +144,13 @@ TEST(NminOf, SubsetTargetGivesOne) {
 TEST_F(PaperDb, NminIsExactByBruteForceArgument) {
   const WorstCaseResult worst = analyze_worst_case(db());
   for (std::size_t j = 0; j < db().untargeted().size(); ++j) {
-    const Bitset& tg = db().untargeted_sets()[j];
+    const DetectionSet& tg = db().untargeted_sets()[j];
     const std::uint64_t nmin = worst.nmin[j];
     ASSERT_NE(nmin, kNeverGuaranteed);
     // For n = nmin - 1 every target can be detected n times outside T(g).
     if (nmin > 1) {
       const std::uint64_t n = nmin - 1;
-      for (const Bitset& tf : db().target_sets()) {
+      for (const DetectionSet& tf : db().target_sets()) {
         const std::size_t outside = tf.and_not_count(tg);
         const std::size_t required = std::min<std::size_t>(
             static_cast<std::size_t>(n), tf.count());
@@ -157,7 +159,7 @@ TEST_F(PaperDb, NminIsExactByBruteForceArgument) {
     }
     // For n = nmin some target fault forces a test inside T(g).
     bool forced = false;
-    for (const Bitset& tf : db().target_sets()) {
+    for (const DetectionSet& tf : db().target_sets()) {
       const std::size_t outside = tf.and_not_count(tg);
       const std::size_t required =
           std::min<std::size_t>(static_cast<std::size_t>(nmin), tf.count());
