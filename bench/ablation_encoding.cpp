@@ -24,10 +24,11 @@
 
 int main(int argc, char** argv) {
   using namespace ndet;
-  const CliArgs args(argc, argv, {"circuits"});
+  const CliArgs args(argc, argv, {"circuits", "threads"});
+  const auto threads = static_cast<unsigned>(args.get_u64("threads", 0));
   bench::banner("Ablation: state-encoding sensitivity of the worst-case analysis",
                 "not in the paper; supports the DESIGN.md substitution",
-                "--circuits=a,b,c");
+                "--circuits=a,b,c --threads (0 = all)");
 
   std::vector<std::string> names = args.positional();
   if (args.has("circuits")) {
@@ -46,8 +47,11 @@ int main(int argc, char** argv) {
           {StateEncoding::kOneHot, "onehot"}}) {
       std::fprintf(stderr, "[ndetect] %s / %s ...\n", name.c_str(), label);
       const Circuit circuit = fsm_benchmark_circuit(name, encoding);
-      const DetectionDb db = DetectionDb::build(circuit);
-      const WorstCaseResult worst = analyze_worst_case(db);
+      DetectionDbOptions db_options;
+      db_options.num_threads = threads;
+      const DetectionDb db = DetectionDb::build(circuit, db_options);
+      const WorstCaseResult worst =
+          analyze_worst_case(db, AnalysisOptions{.num_threads = threads});
       table.add_row({name, label, std::to_string(worst.nmin.size()),
                      format_percent(worst.fraction_at_most(1)),
                      format_percent(worst.fraction_at_most(10)),

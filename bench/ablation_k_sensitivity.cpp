@@ -16,16 +16,19 @@
 #include "core/procedure1.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 int main(int argc, char** argv) {
   using namespace ndet;
-  const CliArgs args(argc, argv, {"circuit", "kmax", "nmax"});
+  const CliArgs args(argc, argv, {"circuit", "kmax", "nmax", "threads"});
   const std::string name = args.get("circuit", "cse");
   const std::size_t kmax = args.get_u64("kmax", 2000);
   const int nmax = static_cast<int>(args.get_u64("nmax", 10));
+  const unsigned threads = resolve_thread_count(
+      static_cast<unsigned>(args.get_u64("threads", 0)));
   bench::banner("Ablation: convergence of p(n,g) estimates with K",
                 "not in the paper; justifies the harness defaults",
-                "--circuit --kmax --nmax");
+                "--circuit --kmax --nmax --threads (0 = all)");
 
   const bench::CircuitAnalysis analysis = bench::analyze_circuit(name);
   auto monitored =
@@ -44,6 +47,7 @@ int main(int argc, char** argv) {
     config.nmax = nmax;
     config.num_sets = k;
     config.seed = seed;
+    config.num_threads = threads;
     return run_procedure1(analysis.db, monitored, config);
   };
 

@@ -224,38 +224,56 @@ void BM_PartitionedWorstCase(benchmark::State& state) {
 }
 BENCHMARK(BM_PartitionedWorstCase)->Arg(1)->Arg(0);
 
-void BM_Procedure1Definition1(benchmark::State& state) {
+// Procedure 1, sharded over its K sets: arguments are {K, worker threads}
+// (0 = serial on the calling thread).  Results are bit-identical at every
+// width, so the thread column is pure wall-clock; the .../1 rows isolate the
+// per-set worklist win over the classic n x targets x K sweep.
+void BM_Procedure1Def1(benchmark::State& state) {
   const DetectionDb& db = bench_db();
   std::vector<std::size_t> monitored(std::min<std::size_t>(32, db.untargeted().size()));
   std::iota(monitored.begin(), monitored.end(), std::size_t{0});
   Procedure1Config config;
   config.nmax = 10;
   config.num_sets = static_cast<std::size_t>(state.range(0));
+  config.num_threads = static_cast<unsigned>(state.range(1));
+  std::uint64_t tests_added = 0;
   for (auto _ : state) {
     const AverageCaseResult result = run_procedure1(db, monitored, config);
-    benchmark::DoNotOptimize(result.stats.tests_added);
+    tests_added = result.stats.tests_added;
+    benchmark::DoNotOptimize(tests_added);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           state.range(0));
+  state.counters["tests_added"] = static_cast<double>(tests_added);
 }
-BENCHMARK(BM_Procedure1Definition1)->Arg(10)->Arg(100);
+BENCHMARK(BM_Procedure1Def1)->Args({100, 1})->Args({100, 8});
 
-void BM_Procedure1Definition2(benchmark::State& state) {
+void BM_Procedure1Def2(benchmark::State& state) {
   const DetectionDb& db = bench_db();
   std::vector<std::size_t> monitored(std::min<std::size_t>(32, db.untargeted().size()));
   std::iota(monitored.begin(), monitored.end(), std::size_t{0});
   Procedure1Config config;
   config.nmax = 10;
   config.num_sets = static_cast<std::size_t>(state.range(0));
+  config.num_threads = static_cast<unsigned>(state.range(1));
   config.definition = DetectionDefinition::kDissimilar;
+  Def2OracleStats cache;
+  std::uint64_t queries = 0;
   for (auto _ : state) {
     const AverageCaseResult result = run_procedure1(db, monitored, config);
-    benchmark::DoNotOptimize(result.stats.distinct_queries);
+    cache = result.def2_cache;
+    queries = result.stats.distinct_queries;
+    benchmark::DoNotOptimize(queries);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           state.range(0));
+  state.counters["oracle_queries"] = static_cast<double>(queries);
+  state.counters["good_sims"] = static_cast<double>(cache.good_sim_entries);
+  state.counters["verdict_hits"] = static_cast<double>(cache.verdict_hits);
+  state.counters["verdict_misses"] =
+      static_cast<double>(cache.verdict_misses);
 }
-BENCHMARK(BM_Procedure1Definition2)->Arg(10);
+BENCHMARK(BM_Procedure1Def2)->Args({10, 1})->Args({10, 8});
 
 void BM_Def2Oracle(benchmark::State& state) {
   const Circuit& c = bench_circuit();

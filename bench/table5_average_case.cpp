@@ -19,18 +19,21 @@
 #include "core/procedure1.hpp"
 #include "core/reports.hpp"
 #include "util/cli.hpp"
+#include "util/thread_pool.hpp"
 
 int main(int argc, char** argv) {
   using namespace ndet;
-  const CliArgs args(argc, argv, {"circuits", "k", "seed", "nmax"});
+  const CliArgs args(argc, argv, {"circuits", "k", "seed", "nmax", "threads"});
   const std::size_t k = args.get_u64("k", 500);
   const int nmax = static_cast<int>(args.get_u64("nmax", 10));
   const std::uint64_t seed = args.get_u64("seed", 2005);
+  const unsigned threads = resolve_thread_count(
+      static_cast<unsigned>(args.get_u64("threads", 0)));
   bench::banner(
       "Table 5: average-case probabilities of detection (Definition 1)",
       "e.g. keyb 474 faults: 100 with p=1, 371 with p>=0.9, ..., 474 with "
       "p>=0; K=10000",
-      "--k (default 500) --nmax --seed --circuits=a,b,c");
+      "--k (default 500) --nmax --seed --threads (0 = all) --circuits=a,b,c");
 
   std::vector<std::string> names = args.positional();
   if (args.has("circuits")) {
@@ -52,8 +55,11 @@ int main(int argc, char** argv) {
     config.nmax = nmax;
     config.num_sets = k;
     config.seed = seed;
+    config.num_threads = threads;
     const AverageCaseResult avg = run_procedure1(analysis.db, monitored, config);
     rows.push_back(make_probability_row(name, avg, nmax));
+    std::fprintf(stderr, "[ndetect]   %s\n",
+                 describe_set_memory(analysis.db).c_str());
 
     const EscapeReport escape = compute_escape_report(avg, nmax);
     total_expected_escapes += escape.expected_escapes;

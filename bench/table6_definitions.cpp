@@ -16,17 +16,20 @@
 #include "core/procedure1.hpp"
 #include "core/reports.hpp"
 #include "util/cli.hpp"
+#include "util/thread_pool.hpp"
 
 int main(int argc, char** argv) {
   using namespace ndet;
-  const CliArgs args(argc, argv, {"circuits", "k", "seed", "nmax"});
+  const CliArgs args(argc, argv, {"circuits", "k", "seed", "nmax", "threads"});
   const std::size_t k = args.get_u64("k", 60);
   const int nmax = static_cast<int>(args.get_u64("nmax", 10));
   const std::uint64_t seed = args.get_u64("seed", 2005);
+  const unsigned threads = resolve_thread_count(
+      static_cast<unsigned>(args.get_u64("threads", 0)));
   bench::banner(
       "Table 6: detection probabilities under Definitions 1 and 2",
       "e.g. keyb 474 faults at p>=0.8: 381 (def 1) vs 440 (def 2); K=1000",
-      "--k (default 60) --nmax --seed --circuits=a,b,c");
+      "--k (default 60) --nmax --seed --threads (0 = all) --circuits=a,b,c");
 
   std::vector<std::string> names = args.positional();
   if (args.has("circuits")) {
@@ -47,6 +50,7 @@ int main(int argc, char** argv) {
     config.nmax = nmax;
     config.num_sets = k;
     config.seed = seed;
+    config.num_threads = threads;
     const AverageCaseResult def1 = run_procedure1(analysis.db, monitored, config);
     config.definition = DetectionDefinition::kDissimilar;
     const AverageCaseResult def2 = run_procedure1(analysis.db, monitored, config);
@@ -59,6 +63,16 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(def2.stats.tests_added),
                  static_cast<unsigned long long>(def2.stats.def1_fallbacks),
                  static_cast<unsigned long long>(def2.stats.distinct_queries));
+    std::fprintf(stderr,
+                 "[ndetect]   %s: def2 caches (%u workers): %llu good sims, "
+                 "%llu hits / %llu misses; %s\n",
+                 name.c_str(), threads,
+                 static_cast<unsigned long long>(
+                     def2.def2_cache.good_sim_entries),
+                 static_cast<unsigned long long>(def2.def2_cache.verdict_hits),
+                 static_cast<unsigned long long>(
+                     def2.def2_cache.verdict_misses),
+                 describe_set_memory(analysis.db).c_str());
   }
   std::fputs(render_table6(rows).render().c_str(), stdout);
   std::printf(

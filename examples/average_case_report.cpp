@@ -32,6 +32,7 @@ int main(int argc, char** argv) {
   config.definition = args.get_u64("def", 1) == 2
                           ? DetectionDefinition::kDissimilar
                           : DetectionDefinition::kStandard;
+  config.num_threads = examples::procedure1_threads_from(args);
 
   const Circuit circuit = resolve_circuit(name);
   const DetectionDb db =
@@ -52,11 +53,21 @@ int main(int argc, char** argv) {
   }
 
   const AverageCaseResult avg = run_procedure1(db, monitored, config);
-  std::printf("\nK = %zu random %d-detection test sets (Definition %d); "
-              "faults with p(%d,g) >= threshold:\n\n",
+  std::printf("%s\n", describe_set_memory(db).c_str());
+  if (config.definition == DetectionDefinition::kDissimilar)
+    std::printf("def2 oracle (%u workers): %llu good ternary sims cached, "
+                "%llu verdict hits / %llu misses\n",
+                config.num_threads,
+                static_cast<unsigned long long>(
+                    avg.def2_cache.good_sim_entries),
+                static_cast<unsigned long long>(avg.def2_cache.verdict_hits),
+                static_cast<unsigned long long>(
+                    avg.def2_cache.verdict_misses));
+  std::printf("\nK = %zu random %d-detection test sets (Definition %d, "
+              "%u workers); faults with p(%d,g) >= threshold:\n\n",
               config.num_sets, config.nmax,
               config.definition == DetectionDefinition::kStandard ? 1 : 2,
-              config.nmax);
+              config.num_threads, config.nmax);
   std::fputs(
       render_table5({make_probability_row(name, avg, config.nmax)}).render().c_str(),
       stdout);

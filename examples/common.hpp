@@ -11,12 +11,20 @@
 #include "core/worst_case.hpp"
 #include "fsm/benchmarks.hpp"
 #include "util/cli.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ndet::examples {
 
 /// Reads --threads= (0 = all hardware threads, the default).
 inline unsigned threads_from(const CliArgs& args) {
   return static_cast<unsigned>(args.get_u64("threads", 0));
+}
+
+/// Procedure-1 worker width from --threads=.  The CLI convention (0 = all
+/// hardware threads) is resolved to a concrete width here because
+/// Procedure1Config::num_threads expresses "serial" as 0.
+inline unsigned procedure1_threads_from(const CliArgs& args) {
+  return resolve_thread_count(threads_from(args));
 }
 
 /// Database-build options carrying the --threads= choice.

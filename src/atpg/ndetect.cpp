@@ -1,7 +1,6 @@
 #include "atpg/ndetect.hpp"
 
 #include <algorithm>
-#include <set>
 
 #include "sim/batch_fault_sim.hpp"
 #include "sim/exhaustive.hpp"
@@ -21,6 +20,58 @@ std::vector<Bitset> detection_matrix(const LineModel& lines,
   const BatchFaultSimulator fault_sim(sim, lines);
   return fault_sim.detection_sets(faults);
 }
+
+/// A sorted vector standing in for std::set<uint32_t>: the generation loop
+/// holds one membership structure per fault plus one for the whole set, and
+/// the node-per-element allocation churn of std::set dominated the
+/// compaction-bound profiles.  Inserts keep ascending order, so iteration
+/// matches std::set exactly.  Right-sized for the per-fault `found` sets
+/// (at most a few times n elements); the whole-run set uses TestFilter.
+class SortedTests {
+ public:
+  /// Inserts `value`; returns false when it was already present.
+  bool insert(std::uint32_t value) {
+    const auto it = std::lower_bound(tests_.begin(), tests_.end(), value);
+    if (it != tests_.end() && *it == value) return false;
+    tests_.insert(it, value);
+    return true;
+  }
+
+  std::size_t size() const { return tests_.size(); }
+  auto begin() const { return tests_.begin(); }
+  auto end() const { return tests_.end(); }
+
+ private:
+  std::vector<std::uint32_t> tests_;
+};
+
+/// Membership filter for the accumulated whole-run test list.  Its order is
+/// never read (result.tests keeps insertion order itself), so only
+/// insert/contains matter: a dense bitmap over the vector universe when the
+/// circuit is narrow enough for one, falling back to the sorted vector on
+/// wide-PI circuits where 2^PI bits would not fit.
+class TestFilter {
+ public:
+  explicit TestFilter(std::size_t input_count) {
+    if (input_count <= kDenseInputLimit)
+      bits_ = Bitset(std::size_t{1} << input_count);
+  }
+
+  /// Inserts `value`; returns false when it was already present.
+  bool insert(std::uint32_t value) {
+    if (bits_.size() == 0) return sorted_.insert(value);
+    if (bits_.test(value)) return false;
+    bits_.set(value);
+    return true;
+  }
+
+ private:
+  /// 2^24 bits = 2 MiB; everything this repository analyzes is far below.
+  static constexpr std::size_t kDenseInputLimit = 24;
+
+  Bitset bits_;
+  SortedTests sorted_;
+};
 
 }  // namespace
 
@@ -46,10 +97,10 @@ NDetectResult generate_ndetection_set(const LineModel& lines,
   podem_config.randomize = true;
   const Podem podem(lines, podem_config);
 
-  std::set<std::uint32_t> in_set;
+  TestFilter in_set(lines.circuit().input_count());
 
   for (const StuckAtFault& fault : faults) {
-    std::set<std::uint32_t> found;  // distinct tests for this fault
+    SortedTests found;  // distinct tests for this fault
     bool aborted = false;
     bool detectable = false;
     int dry_attempts = 0;
@@ -68,7 +119,7 @@ NDetectResult generate_ndetection_set(const LineModel& lines,
            ++fill) {
         const auto test =
             static_cast<std::uint32_t>(podem.complete_cube(*run.cube, rng));
-        if (found.insert(test).second) added = true;
+        if (found.insert(test)) added = true;
       }
       dry_attempts = added ? 0 : dry_attempts + 1;
     }
@@ -76,7 +127,7 @@ NDetectResult generate_ndetection_set(const LineModel& lines,
     else if (!detectable) ++result.undetectable_faults;
     else if (static_cast<int>(found.size()) < config.n) ++result.short_faults;
     for (const std::uint32_t t : found) {
-      if (in_set.insert(t).second)
+      if (in_set.insert(t))
         result.tests.push_back(t);
     }
   }

@@ -6,6 +6,7 @@
 #include "sim/ternary_sim.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ndet {
 
@@ -26,28 +27,195 @@ std::size_t AverageCaseResult::count_probability_at_least(
 
 namespace {
 
-/// Per-set state shared by both definitions.
-struct SetState {
-  Bitset members;                      ///< tests currently in T_k, over U
-  std::vector<std::uint32_t> order;    ///< insertion order
-  std::vector<std::uint16_t> def1_count;  ///< detections per target fault
-  Bitset detected_monitored;           ///< over the monitored fault list
-  Rng rng;
-
-  SetState(std::uint64_t vectors, std::size_t targets, std::size_t monitored,
-           Rng generator)
-      : members(vectors),
-        def1_count(targets, 0),
-        detected_monitored(monitored),
-        rng(generator) {}
-};
-
 /// Definition-2 incremental counting state for one (set, fault) pair: the
 /// greedily counted tests and a cursor into the set's insertion order.
 struct Def2State {
   std::vector<std::uint32_t> counted;
   std::uint32_t cursor = 0;
 };
+
+/// Read-only inputs shared by every set trajectory (and every worker).
+struct TrajectoryInputs {
+  std::span<const DetectionSet> target_sets;
+  std::span<const Bitset> target_rows;     ///< per-vector detected targets
+  std::span<const Bitset> monitored_rows;  ///< per-vector detected monitored
+  std::span<const std::uint32_t> initial_worklist;  ///< detectable targets
+  std::uint64_t vectors = 0;
+  std::size_t monitored_count = 0;
+  int nmax = 1;
+  bool def2 = false;
+  std::size_t def2_probe_limit = 32;
+};
+
+/// Everything one set's end-to-end trajectory produces.  Slots are
+/// index-aligned with k, so the merge is deterministic at any thread count.
+struct SetResult {
+  std::vector<Bitset> detected;      ///< [n-1]: monitored faults detected
+  std::vector<std::uint32_t> sizes;  ///< [n-1]: |T_k| after iteration n
+  std::vector<std::uint32_t> order;  ///< final insertion order
+  Procedure1Stats stats;
+};
+
+/// Runs one set T_k through all nmax iterations.  The fault visit order
+/// (n outer, targets ascending) and every RNG draw match the classic
+/// n x targets x K sweep, so per-set trajectories are identical to the
+/// serial engine's; only the scheduling across sets changes.
+///
+/// The worklist drops a target fault permanently once it can never require
+/// work again: T(f) became a subset of T_k, or its detection count (plain
+/// for Definition 1, greedily counted for Definition 2) reached nmax.
+/// Dropped faults consume no RNG in the classic sweep either, so the prune
+/// is invisible to everything except the Definition-2 refresh scans it
+/// skips (see DESIGN.md "Procedure-1 sharding").
+SetResult run_set_trajectory(const TrajectoryInputs& in, Rng rng,
+                             Def2Oracle* oracle) {
+  SetResult out;
+  Bitset members(in.vectors);                 // tests currently in T_k
+  Bitset detected(in.monitored_count);        // over the monitored list
+  std::vector<std::uint32_t> def1_count(in.target_sets.size(), 0);
+  std::vector<Def2State> def2_state;
+  if (in.def2) def2_state.resize(in.target_sets.size());
+  std::vector<std::uint32_t> worklist(in.initial_worklist.begin(),
+                                      in.initial_worklist.end());
+  const auto nmax = static_cast<std::size_t>(in.nmax);
+
+  const auto add_test = [&](std::uint32_t test) {
+    members.set(test);
+    out.order.push_back(test);
+    in.target_rows[test].for_each_set(
+        [&](std::size_t f) { ++def1_count[f]; });
+    detected |= in.monitored_rows[test];
+    ++out.stats.tests_added;
+  };
+
+  // Brings the greedy Definition-2 counted set of fault i up to date with
+  // the tests added to T_k since the last visit.  The counted set is a pure
+  // function of the insertion-order prefix, so deferred refreshes (worklist
+  // skips) cannot change it.
+  const auto refresh_def2 = [&](std::size_t i) -> Def2State& {
+    Def2State& st = def2_state[i];
+    const DetectionSet& tf = in.target_sets[i];
+    while (st.cursor < out.order.size()) {
+      const std::uint32_t t = out.order[st.cursor++];
+      if (!tf.test(t)) continue;
+      bool distinct_from_all = true;
+      for (const std::uint32_t s : st.counted) {
+        ++out.stats.distinct_queries;
+        if (!oracle->distinct(i, s, t)) {
+          distinct_from_all = false;
+          break;
+        }
+      }
+      if (distinct_from_all) st.counted.push_back(t);
+    }
+    return st;
+  };
+
+  out.detected.reserve(nmax);
+  out.sizes.reserve(nmax);
+
+  for (int n = 1; n <= in.nmax; ++n) {
+    const auto need = static_cast<std::size_t>(n);
+    std::size_t live = 0;
+    for (const std::uint32_t i : worklist) {
+      const DetectionSet& tf = in.target_sets[i];
+      bool keep = true;
+
+      if (!in.def2) {
+        if (def1_count[i] < need) {
+          const std::size_t available = tf.and_not_count(members);
+          if (available == 0) {
+            keep = false;  // T(f) is contained in T_k: inert forever
+          } else {
+            const std::uint64_t r = rng.below(available);
+            add_test(static_cast<std::uint32_t>(
+                tf.nth_in_difference(members, r)));
+            if (available == 1) keep = false;  // that was the last test
+          }
+        }
+        if (keep && def1_count[i] >= nmax) keep = false;  // saturated
+        if (keep) worklist[live++] = i;
+        continue;
+      }
+
+      // Definition 2: count via the greedy dissimilarity clique.
+      Def2State& st = refresh_def2(i);
+      if (st.counted.size() < need) {
+        const std::size_t available = tf.and_not_count(members);
+        if (available == 0) {
+          // The refresh above is current and every test of f is already in
+          // T_k, so no future order entry can be in T(f): inert forever.
+          keep = false;
+        } else {
+          // Look for a candidate that adds a Definition-2 detection.
+          const auto is_distinct_candidate = [&](std::uint32_t t) {
+            for (const std::uint32_t s : st.counted) {
+              ++out.stats.distinct_queries;
+              if (!oracle->distinct(i, s, t)) return false;
+            }
+            return true;
+          };
+
+          std::uint32_t chosen = 0;
+          bool found = false;
+          if (available <= 64) {
+            // Small difference: enumerate T(f_i) - T_k in ascending order
+            // and pick uniformly among the candidates.
+            std::vector<std::uint32_t> candidates;
+            tf.for_each_set([&](std::size_t v) {
+              if (members.test(v)) return;
+              if (is_distinct_candidate(static_cast<std::uint32_t>(v)))
+                candidates.push_back(static_cast<std::uint32_t>(v));
+            });
+            if (!candidates.empty()) {
+              chosen = candidates[rng.below(candidates.size())];
+              found = true;
+            }
+          } else {
+            // Large difference: bounded random probing.
+            for (std::size_t probe = 0; probe < in.def2_probe_limit;
+                 ++probe) {
+              const std::uint64_t r = rng.below(available);
+              const auto t = static_cast<std::uint32_t>(
+                  tf.nth_in_difference(members, r));
+              if (is_distinct_candidate(t)) {
+                chosen = t;
+                found = true;
+                break;
+              }
+            }
+          }
+
+          if (found) {
+            add_test(chosen);
+            // The new test is in T(f_i) and distinct: count it immediately.
+            refresh_def2(i);
+            if (available == 1) keep = false;
+          } else if (def1_count[i] < need) {
+            // Definition-1 fallback: no test can increase the Definition-2
+            // count, but the fault is still short of n plain detections.
+            const std::uint64_t r = rng.below(available);
+            add_test(static_cast<std::uint32_t>(
+                tf.nth_in_difference(members, r)));
+            ++out.stats.def1_fallbacks;
+            if (available == 1) {
+              refresh_def2(i);  // settle the counted set before retiring
+              keep = false;
+            }
+          }
+        }
+      }
+      if (keep && st.counted.size() >= nmax) keep = false;  // saturated
+      if (keep) worklist[live++] = i;
+    }
+    worklist.resize(live);
+
+    // Snapshot this set's state at the end of iteration n.
+    out.detected.push_back(detected);
+    out.sizes.push_back(static_cast<std::uint32_t>(out.order.size()));
+  }
+  return out;
+}
 
 }  // namespace
 
@@ -60,7 +228,6 @@ AverageCaseResult run_procedure1(const DetectionDb& db,
   const auto& targets = db.targets();
   const auto& target_sets = db.target_sets();
   const std::uint64_t vectors = db.vector_count();
-  const std::size_t num_targets = targets.size();
   const std::size_t k_sets = config.num_sets;
   const bool def2 = config.definition == DetectionDefinition::kDissimilar;
 
@@ -84,151 +251,78 @@ AverageCaseResult run_procedure1(const DetectionDb& db,
       transpose_detection_sets(std::span<const DetectionSet>(monitored_sets),
                                vectors);
 
-  // Independent RNG stream per set: the iteration order of faults cannot
-  // leak across sets, keeping the K sets statistically independent.
+  // Every set starts from the same worklist: the detectable targets in
+  // ascending order (undetectable targets are inert in every analysis).
+  std::vector<std::uint32_t> initial_worklist;
+  initial_worklist.reserve(target_sets.size());
+  for (std::size_t i = 0; i < target_sets.size(); ++i)
+    if (target_sets[i].count() != 0)
+      initial_worklist.push_back(static_cast<std::uint32_t>(i));
+
+  TrajectoryInputs inputs;
+  inputs.target_sets = target_sets;
+  inputs.target_rows = target_rows;
+  inputs.monitored_rows = monitored_rows;
+  inputs.initial_worklist = initial_worklist;
+  inputs.vectors = vectors;
+  inputs.monitored_count = monitored.size();
+  inputs.nmax = config.nmax;
+  inputs.def2 = def2;
+  inputs.def2_probe_limit = config.def2_probe_limit;
+
+  // Independent RNG stream per set, split off the master in k order before
+  // any work starts: the streams -- and therefore every per-set trajectory
+  // -- are invariant under scheduling and thread count.
   Rng master(config.seed);
-  std::vector<SetState> sets;
-  sets.reserve(k_sets);
-  for (std::size_t k = 0; k < k_sets; ++k)
-    sets.emplace_back(vectors, num_targets, monitored.size(), master.split());
+  std::vector<Rng> streams;
+  streams.reserve(k_sets);
+  for (std::size_t k = 0; k < k_sets; ++k) streams.push_back(master.split());
 
-  // Definition-2 machinery (constructed only when needed).
-  std::unique_ptr<Def2Oracle> oracle;
-  std::vector<std::vector<Def2State>> def2_state;  // [k][fault]
-  if (def2) {
-    oracle = std::make_unique<Def2Oracle>(db.lines(), targets);
-    def2_state.assign(k_sets, std::vector<Def2State>(num_targets));
+  // Shard whole sets across the pool: worker w owns set k end to end and
+  // writes only slot k.  Definition-2 workers each own a private oracle, so
+  // the hot distinct() path takes no locks (DESIGN.md "Procedure-1
+  // sharding"); num_threads = 0 degenerates to one worker on the calling
+  // thread.
+  std::vector<SetResult> per_set(k_sets);
+  const ThreadPool pool(std::max(1u, config.num_threads));
+  const unsigned workers = pool.workers_for(k_sets);
+  std::vector<std::unique_ptr<Def2Oracle>> oracles(workers);
+  pool.for_each_index(k_sets, [&](std::size_t k, unsigned worker) {
+    Def2Oracle* oracle = nullptr;
+    if (def2) {
+      if (!oracles[worker])
+        oracles[worker] = std::make_unique<Def2Oracle>(db.lines(), targets);
+      oracle = oracles[worker].get();
+    }
+    per_set[k] = run_set_trajectory(inputs, streams[k], oracle);
+  });
+
+  // Deterministic merge in k order.
+  const auto iterations = static_cast<std::size_t>(config.nmax);
+  result.detect_count.resize(iterations);
+  result.set_sizes.resize(iterations);
+  if (config.keep_test_sets) result.test_sets.resize(iterations);
+  for (std::size_t n = 0; n < iterations; ++n) {
+    result.detect_count[n].assign(monitored.size(), 0);
+    result.set_sizes[n].resize(k_sets);
+    if (config.keep_test_sets) result.test_sets[n].resize(k_sets);
   }
-
-  const auto add_test = [&](SetState& state, std::uint32_t test) {
-    state.members.set(test);
-    state.order.push_back(test);
-    target_rows[test].for_each_set(
-        [&](std::size_t f) { ++state.def1_count[f]; });
-    state.detected_monitored |= monitored_rows[test];
-    ++result.stats.tests_added;
-  };
-
-  // Brings the greedy Definition-2 counted set of (k, i) up to date with the
-  // tests added to T_k since the last visit.
-  const auto refresh_def2 = [&](std::size_t k, std::size_t i) -> Def2State& {
-    Def2State& st = def2_state[k][i];
-    const auto& order = sets[k].order;
-    const DetectionSet& tf = target_sets[i];
-    while (st.cursor < order.size()) {
-      const std::uint32_t t = order[st.cursor++];
-      if (!tf.test(t)) continue;
-      bool distinct_from_all = true;
-      for (const std::uint32_t s : st.counted) {
-        ++result.stats.distinct_queries;
-        if (!oracle->distinct(i, s, t)) {
-          distinct_from_all = false;
-          break;
-        }
-      }
-      if (distinct_from_all) st.counted.push_back(t);
+  for (std::size_t k = 0; k < k_sets; ++k) {
+    const SetResult& set = per_set[k];
+    for (std::size_t n = 0; n < iterations; ++n) {
+      auto& dn = result.detect_count[n];
+      set.detected[n].for_each_set([&](std::size_t j) { ++dn[j]; });
+      result.set_sizes[n][k] = set.sizes[n];
+      if (config.keep_test_sets)
+        result.test_sets[n][k].assign(set.order.begin(),
+                                      set.order.begin() + set.sizes[n]);
     }
-    return st;
-  };
-
-  result.detect_count.resize(static_cast<std::size_t>(config.nmax));
-  result.set_sizes.resize(static_cast<std::size_t>(config.nmax));
-  if (config.keep_test_sets)
-    result.test_sets.resize(static_cast<std::size_t>(config.nmax));
-
-  for (int n = 1; n <= config.nmax; ++n) {
-    for (std::size_t i = 0; i < num_targets; ++i) {
-      const DetectionSet& tf = target_sets[i];
-      const std::size_t n_f = tf.count();
-      if (n_f == 0) continue;  // undetectable target: inert
-      for (std::size_t k = 0; k < k_sets; ++k) {
-        SetState& state = sets[k];
-        const std::size_t available = tf.and_not_count(state.members);
-
-        if (!def2) {
-          if (state.def1_count[i] >= static_cast<std::size_t>(n)) continue;
-          if (available == 0) continue;
-          const std::uint64_t r = state.rng.below(available);
-          add_test(state, static_cast<std::uint32_t>(
-                              tf.nth_in_difference(state.members, r)));
-          continue;
-        }
-
-        // Definition 2: count via the greedy dissimilarity clique.
-        Def2State& st = refresh_def2(k, i);
-        if (st.counted.size() >= static_cast<std::size_t>(n)) continue;
-        if (available == 0) continue;
-
-        // Look for a candidate that adds a Definition-2 detection.
-        const auto is_distinct_candidate = [&](std::uint32_t t) {
-          for (const std::uint32_t s : st.counted) {
-            ++result.stats.distinct_queries;
-            if (!oracle->distinct(i, s, t)) return false;
-          }
-          return true;
-        };
-
-        std::uint32_t chosen = 0;
-        bool found = false;
-        if (available <= 64) {
-          // Small difference: enumerate T(f_i) - T_k in ascending order and
-          // pick uniformly among the candidates.
-          std::vector<std::uint32_t> candidates;
-          tf.for_each_set([&](std::size_t v) {
-            if (state.members.test(v)) return;
-            if (is_distinct_candidate(static_cast<std::uint32_t>(v)))
-              candidates.push_back(static_cast<std::uint32_t>(v));
-          });
-          if (!candidates.empty()) {
-            chosen = candidates[state.rng.below(candidates.size())];
-            found = true;
-          }
-        } else {
-          // Large difference: bounded random probing.
-          for (std::size_t probe = 0; probe < config.def2_probe_limit;
-               ++probe) {
-            const std::uint64_t r = state.rng.below(available);
-            const auto t = static_cast<std::uint32_t>(
-                tf.nth_in_difference(state.members, r));
-            if (is_distinct_candidate(t)) {
-              chosen = t;
-              found = true;
-              break;
-            }
-          }
-        }
-
-        if (found) {
-          add_test(state, chosen);
-          // The new test is in T(f_i) and distinct: count it immediately.
-          Def2State& fresh = refresh_def2(k, i);
-          (void)fresh;
-        } else if (state.def1_count[i] < static_cast<std::size_t>(n)) {
-          // Definition-1 fallback: no test can increase the Definition-2
-          // count, but the fault is still short of n plain detections.
-          const std::uint64_t r = state.rng.below(available);
-          add_test(state, static_cast<std::uint32_t>(
-                              tf.nth_in_difference(state.members, r)));
-          ++result.stats.def1_fallbacks;
-        }
-      }
-    }
-
-    // Snapshot d(n, g) and set sizes at the end of iteration n.
-    auto& dn = result.detect_count[static_cast<std::size_t>(n - 1)];
-    dn.assign(monitored.size(), 0);
-    auto& sizes = result.set_sizes[static_cast<std::size_t>(n - 1)];
-    sizes.resize(k_sets);
-    for (std::size_t k = 0; k < k_sets; ++k) {
-      sets[k].detected_monitored.for_each_set([&](std::size_t j) { ++dn[j]; });
-      sizes[k] = static_cast<std::uint32_t>(sets[k].order.size());
-    }
-    if (config.keep_test_sets) {
-      auto& snapshot = result.test_sets[static_cast<std::size_t>(n - 1)];
-      snapshot.resize(k_sets);
-      for (std::size_t k = 0; k < k_sets; ++k) snapshot[k] = sets[k].order;
-    }
+    result.stats.tests_added += set.stats.tests_added;
+    result.stats.def1_fallbacks += set.stats.def1_fallbacks;
+    result.stats.distinct_queries += set.stats.distinct_queries;
   }
+  for (const auto& oracle : oracles)
+    if (oracle) result.def2_cache += oracle->stats();
   return result;
 }
 

@@ -18,20 +18,28 @@
 //     a Definition-2 detection, the procedure falls back to Definition 1 so
 //     faults are not left far short of n detections (Section 4).
 //
-// Determinism: every set k draws from its own generator derived from the
-// master seed, so results do not depend on scheduling and are reproducible
-// bit-for-bit.  Definition-2 candidate search scans all of T(f_i) - T_k when
-// small, and otherwise takes `def2_probe_limit` random probes (documented
-// deviation; DESIGN.md "Definition 2").
+// Engine: the K sets are statistically independent by construction (every
+// set draws from its own generator split off the master seed), so the
+// engine shards them across the fork-join worker pool.  Each worker owns a
+// set's state end to end across all nmax iterations and keeps a per-set
+// worklist of still-unsaturated target faults; per-set snapshots are merged
+// in k order after the pool joins.  Results are bit-identical at every
+// thread count, including 0 (serial on the calling thread).  Definition-2
+// candidate search scans all of T(f_i) - T_k when small, and otherwise
+// takes `def2_probe_limit` random probes (documented deviation; DESIGN.md
+// "Definition 2").  See DESIGN.md "Procedure-1 sharding" for the worklist
+// and oracle-cache disciplines.
 
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <thread>
 #include <vector>
 
 #include "core/detection_db.hpp"
+#include "sim/ternary_sim.hpp"
 
 namespace ndet {
 
@@ -46,9 +54,15 @@ struct Procedure1Config {
   DetectionDefinition definition = DetectionDefinition::kStandard;
   bool keep_test_sets = false;  ///< record every test set (Table 4)
   std::size_t def2_probe_limit = 32;  ///< bounded candidate probing (Def. 2)
+  /// Worker threads sharding the K sets; each worker owns whole set
+  /// trajectories.  0 runs serially on the calling thread; the default uses
+  /// every hardware thread.  The value never changes any result.
+  unsigned num_threads = std::thread::hardware_concurrency();
 };
 
-/// Procedure-1 bookkeeping counters (reported by the perf bench).
+/// Procedure-1 bookkeeping counters (reported by the perf bench).  All three
+/// are sums of per-set counts, so they are deterministic at every thread
+/// count.
 struct Procedure1Stats {
   std::uint64_t tests_added = 0;
   std::uint64_t def1_fallbacks = 0;   ///< Def-2 runs only
@@ -73,6 +87,13 @@ struct AverageCaseResult {
   std::vector<std::vector<std::vector<std::uint32_t>>> test_sets;
 
   Procedure1Stats stats;
+
+  /// Oracle cache telemetry summed across the engine's workers (Def-2 runs
+  /// only; zero otherwise).  Which sets share a worker's caches depends on
+  /// scheduling, so -- unlike Procedure1Stats -- these counters may vary
+  /// with the thread count and across runs; they report cache
+  /// effectiveness, not results.
+  Def2OracleStats def2_cache;
 
   /// p(n, monitored[j]) = d / K.
   double probability(int n, std::size_t j) const;

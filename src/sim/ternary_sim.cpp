@@ -138,12 +138,10 @@ bool Def2Oracle::distinct(std::size_t fault_index, std::uint64_t t1,
   }
   ++verdict_misses_;
 
-  auto good_it = good_cache_.find(key);
-  if (good_it == good_cache_.end()) {
-    const std::vector<Ternary> inputs = sim_.common_vector(t1, t2);
-    good_it = good_cache_.emplace(key, sim_.good_values(inputs)).first;
-  }
   const std::vector<Ternary> inputs = sim_.common_vector(t1, t2);
+  auto good_it = good_cache_.find(key);
+  if (good_it == good_cache_.end())
+    good_it = good_cache_.emplace(key, sim_.good_values(inputs)).first;
   const bool detected =
       sim_.detects_with_good(faults_[fault_index], inputs, good_it->second);
   memo.emplace(key, detected);

@@ -13,6 +13,15 @@
 //   * fault-free ternary simulations are keyed by the agreement pattern
 //     (ti, tj only enter through it), shared across all faults and sets;
 //   * per-fault verdicts are memoized by the same key.
+//
+// Concurrency discipline: an oracle instance is single-threaded by design.
+// Parallel engines shard the caches by giving every worker its own
+// instance -- construction is cheap (the simulator borrows the line model;
+// only the fault list is copied), distinct() stays lock-free, and the
+// workers' hit/miss telemetry is merged through stats().  Verdicts are pure
+// functions of (fault, agreement pattern), so sharding never changes a
+// result -- only which shard pays the miss (DESIGN.md "Procedure-1
+// sharding").
 
 #pragma once
 
@@ -63,6 +72,21 @@ class TernarySimulator {
   friend class Def2Oracle;
 };
 
+/// Cache counters of one Def2Oracle shard (merged across workers by the
+/// parallel Procedure-1 engine).
+struct Def2OracleStats {
+  std::uint64_t good_sim_entries = 0;  ///< cached fault-free ternary sims
+  std::uint64_t verdict_hits = 0;
+  std::uint64_t verdict_misses = 0;
+
+  Def2OracleStats& operator+=(const Def2OracleStats& other) {
+    good_sim_entries += other.good_sim_entries;
+    verdict_hits += other.verdict_hits;
+    verdict_misses += other.verdict_misses;
+    return *this;
+  }
+};
+
 /// Cached similarity oracle over a fixed fault list.
 class Def2Oracle {
  public:
@@ -77,6 +101,11 @@ class Def2Oracle {
   std::size_t good_cache_size() const { return good_cache_.size(); }
   std::size_t verdict_cache_hits() const { return verdict_hits_; }
   std::size_t verdict_cache_misses() const { return verdict_misses_; }
+
+  /// Snapshot of this shard's cache counters.
+  Def2OracleStats stats() const {
+    return {good_cache_.size(), verdict_hits_, verdict_misses_};
+  }
 
  private:
   std::uint64_t agreement_key(std::uint64_t t1, std::uint64_t t2) const;

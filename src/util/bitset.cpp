@@ -60,9 +60,23 @@ std::size_t Bitset::and_not_count(const Bitset& other) const {
 namespace {
 
 /// Index of the `rank`-th (0-based) set bit of `word`; rank < popcount(word).
+/// Binary-search select: halve the window by popcount (32/16/8 bits) instead
+/// of clearing up to `rank` bits one at a time, leaving at most seven
+/// bit-clears in the final byte.
 int nth_set_bit_in_word(Bitset::word_type word, std::size_t rank) {
-  for (std::size_t k = 0; k < rank; ++k) word &= word - 1;
-  return __builtin_ctzll(word);
+  int offset = 0;
+  for (int width = 32; width >= 8; width /= 2) {
+    const Bitset::word_type low =
+        word & ((Bitset::word_type{1} << width) - 1);
+    const auto in_low = static_cast<std::size_t>(std::popcount(low));
+    if (rank >= in_low) {
+      rank -= in_low;
+      word >>= width;
+      offset += width;
+    }
+  }
+  for (; rank > 0; --rank) word &= word - 1;
+  return offset + __builtin_ctzll(word);
 }
 
 }  // namespace

@@ -65,12 +65,19 @@ std::size_t sparse_sparse_intersect(const std::vector<std::uint32_t>& a,
   return total;
 }
 
+/// Branch-free dense probe: every caller has already checked that the
+/// operand universes match, so the word array is read directly instead of
+/// paying Bitset::test's per-probe bounds check.
+inline bool probe(const Bitset::word_type* words, std::uint32_t v) {
+  return (words[v / Bitset::kWordBits] >> (v % Bitset::kWordBits)) & 1u;
+}
+
 /// |sparse & dense| -- one dense probe per sparse element.
 std::size_t sparse_dense_intersect(const std::vector<std::uint32_t>& sparse,
                                    const Bitset& dense) {
+  const Bitset::word_type* words = dense.words();
   std::size_t total = 0;
-  for (const std::uint32_t v : sparse)
-    if (dense.test(v)) ++total;
+  for (const std::uint32_t v : sparse) total += probe(words, v);
   return total;
 }
 
@@ -123,8 +130,9 @@ std::size_t DetectionSet::nth_in_difference(const Bitset& other,
                                             std::size_t rank) const {
   require_same_universe(other.size(), "nth_in_difference");
   if (rep_ == Rep::kDense) return dense_.nth_in_difference(other, rank);
+  const Bitset::word_type* words = other.words();
   for (const std::uint32_t v : sparse_) {
-    if (other.test(v)) continue;
+    if (probe(words, v)) continue;
     if (rank == 0) return v;
     --rank;
   }

@@ -1,5 +1,6 @@
 // procedure1_test.cpp -- Section 3 of the paper: Procedure 1 and the
-// average-case analysis, plus the escape-probability helper.
+// average-case analysis, plus the escape-probability helper and the
+// equivalence suite pinning the sharded engine to the serial baseline.
 
 #include <gtest/gtest.h>
 
@@ -11,6 +12,7 @@
 #include "core/escape.hpp"
 #include "core/procedure1.hpp"
 #include "core/worst_case.hpp"
+#include "fsm/benchmarks.hpp"
 #include "netlist/library.hpp"
 #include "test_util.hpp"
 
@@ -265,6 +267,110 @@ TEST(Procedure1Def2, TendsToSpreadTests) {
   config.definition = DetectionDefinition::kDissimilar;
   const AverageCaseResult def2 = run_procedure1(db, monitored, config);
   EXPECT_GE(def2.probability(2, 0) + 0.05, def1.probability(2, 0));
+}
+
+// --- Parallel-engine equivalence --------------------------------------------
+
+/// The full bit-identity contract between two engine runs: detection
+/// counts, set sizes, the test sets themselves, and the deterministic stats
+/// counters.  (Def2CacheStats is telemetry and intentionally excluded: which
+/// sets share a worker's oracle caches depends on scheduling.)
+void expect_identical_runs(const AverageCaseResult& a,
+                           const AverageCaseResult& b) {
+  EXPECT_EQ(a.detect_count, b.detect_count);
+  EXPECT_EQ(a.set_sizes, b.set_sizes);
+  EXPECT_EQ(a.test_sets, b.test_sets);
+  EXPECT_EQ(a.stats.tests_added, b.stats.tests_added);
+  EXPECT_EQ(a.stats.def1_fallbacks, b.stats.def1_fallbacks);
+  EXPECT_EQ(a.stats.distinct_queries, b.stats.distinct_queries);
+}
+
+/// Runs the serial engine (num_threads = 0) and compares 1/2/8-thread runs
+/// against it bit for bit.
+void check_thread_invariance(const DetectionDb& db,
+                             std::span<const std::size_t> monitored,
+                             Procedure1Config config) {
+  config.keep_test_sets = true;
+  config.num_threads = 0;
+  const AverageCaseResult serial = run_procedure1(db, monitored, config);
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    config.num_threads = threads;
+    const AverageCaseResult parallel = run_procedure1(db, monitored, config);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    expect_identical_runs(serial, parallel);
+  }
+}
+
+TEST(Procedure1Parallel, BitIdenticalAcrossThreadCountsDefinition1) {
+  const DetectionDb& db = paper_db();
+  Procedure1Config config;
+  config.nmax = 4;
+  config.num_sets = 24;
+  config.seed = 17;
+  check_thread_invariance(db, all_monitored(db), config);
+}
+
+TEST(Procedure1Parallel, BitIdenticalAcrossThreadCountsDefinition2) {
+  const DetectionDb& db = paper_db();
+  Procedure1Config config;
+  config.nmax = 3;
+  config.num_sets = 12;
+  config.seed = 23;
+  config.definition = DetectionDefinition::kDissimilar;
+  check_thread_invariance(db, all_monitored(db), config);
+}
+
+TEST(Procedure1Parallel, BitIdenticalOnFsmSuiteDefinition1) {
+  for (const char* name : {"bbtas", "dk27", "beecount"}) {
+    SCOPED_TRACE(name);
+    const DetectionDb db = DetectionDb::build(fsm_benchmark_circuit(name));
+    Procedure1Config config;
+    config.nmax = 3;
+    config.num_sets = 10;
+    config.seed = 2005;
+    check_thread_invariance(db, all_monitored(db), config);
+  }
+}
+
+TEST(Procedure1Parallel, BitIdenticalOnFsmSuiteDefinition2) {
+  const DetectionDb db = DetectionDb::build(fsm_benchmark_circuit("bbtas"));
+  Procedure1Config config;
+  config.nmax = 3;
+  config.num_sets = 8;
+  config.seed = 2005;
+  config.definition = DetectionDefinition::kDissimilar;
+  check_thread_invariance(db, all_monitored(db), config);
+}
+
+TEST(Procedure1Parallel, Def2CacheStatsAccountForEveryQuery) {
+  // Every oracle call is either a verdict hit or a miss, whichever worker's
+  // shard served it -- at any thread count.
+  const DetectionDb& db = paper_db();
+  const auto monitored = all_monitored(db);
+  Procedure1Config config;
+  config.nmax = 3;
+  config.num_sets = 12;
+  config.definition = DetectionDefinition::kDissimilar;
+  for (const unsigned threads : {0u, 2u, 8u}) {
+    config.num_threads = threads;
+    const AverageCaseResult result = run_procedure1(db, monitored, config);
+    EXPECT_EQ(result.def2_cache.verdict_hits + result.def2_cache.verdict_misses,
+              result.stats.distinct_queries)
+        << "threads=" << threads;
+    EXPECT_GT(result.def2_cache.good_sim_entries, 0u);
+  }
+}
+
+TEST(Procedure1Parallel, Definition1LeavesCacheStatsEmpty) {
+  const DetectionDb& db = paper_db();
+  Procedure1Config config;
+  config.nmax = 2;
+  config.num_sets = 4;
+  const auto monitored = all_monitored(db);
+  const AverageCaseResult result = run_procedure1(db, monitored, config);
+  EXPECT_EQ(result.def2_cache.good_sim_entries, 0u);
+  EXPECT_EQ(result.def2_cache.verdict_hits, 0u);
+  EXPECT_EQ(result.def2_cache.verdict_misses, 0u);
 }
 
 // --- Escape report ----------------------------------------------------------
