@@ -15,9 +15,6 @@
 #include <sstream>
 
 #include "common.hpp"
-#include "core/detection_db.hpp"
-#include "core/reports.hpp"
-#include "core/worst_case.hpp"
 #include "fsm/benchmarks.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -25,7 +22,8 @@
 int main(int argc, char** argv) {
   using namespace ndet;
   const CliArgs args(argc, argv, {"circuits", "threads"});
-  const auto threads = static_cast<unsigned>(args.get_u64("threads", 0));
+  SessionOptions options;
+  options.num_threads = static_cast<unsigned>(args.get_u64("threads", 0));
   bench::banner("Ablation: state-encoding sensitivity of the worst-case analysis",
                 "not in the paper; supports the DESIGN.md substitution",
                 "--circuits=a,b,c --threads (0 = all)");
@@ -46,12 +44,8 @@ int main(int argc, char** argv) {
           {StateEncoding::kGray, "gray"},
           {StateEncoding::kOneHot, "onehot"}}) {
       std::fprintf(stderr, "[ndetect] %s / %s ...\n", name.c_str(), label);
-      const Circuit circuit = fsm_benchmark_circuit(name, encoding);
-      DetectionDbOptions db_options;
-      db_options.num_threads = threads;
-      const DetectionDb db = DetectionDb::build(circuit, db_options);
-      const WorstCaseResult worst =
-          analyze_worst_case(db, AnalysisOptions{.num_threads = threads});
+      AnalysisSession session(fsm_benchmark_circuit(name, encoding), options);
+      const WorstCaseResult& worst = session.worst_case();
       table.add_row({name, label, std::to_string(worst.nmin.size()),
                      format_percent(worst.fraction_at_most(1)),
                      format_percent(worst.fraction_at_most(10)),

@@ -5,6 +5,10 @@
 // a large-K reference, reporting the maximum absolute deviation over the
 // monitored faults.
 //
+// Every run is a distinct Procedure1Request against ONE session, so the
+// frozen database and nmin vector are computed once and only Procedure 1
+// repeats -- the memoized-pipeline sweep the session facade exists for.
+//
 // Expected outcome: deviations fall like 1/sqrt(K); K around 500-1000 is
 // already well inside the 0.1-wide probability bins the tables use.
 
@@ -13,10 +17,8 @@
 #include <cstdio>
 
 #include "common.hpp"
-#include "core/procedure1.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
-#include "util/thread_pool.hpp"
 
 int main(int argc, char** argv) {
   using namespace ndet;
@@ -24,39 +26,40 @@ int main(int argc, char** argv) {
   const std::string name = args.get("circuit", "cse");
   const std::size_t kmax = args.get_u64("kmax", 2000);
   const int nmax = static_cast<int>(args.get_u64("nmax", 10));
-  const unsigned threads = resolve_thread_count(
-      static_cast<unsigned>(args.get_u64("threads", 0)));
+  SessionOptions options;
+  options.num_threads = static_cast<unsigned>(args.get_u64("threads", 0));
   bench::banner("Ablation: convergence of p(n,g) estimates with K",
                 "not in the paper; justifies the harness defaults",
                 "--circuit --kmax --nmax --threads (0 = all)");
 
-  const bench::CircuitAnalysis analysis = bench::analyze_circuit(name);
-  auto monitored =
-      analysis.worst.indices_at_least(static_cast<std::uint64_t>(nmax) + 1);
+  AnalysisSession session = bench::analyze_circuit(name, options);
+  std::vector<std::size_t> monitored(session.monitored(nmax).begin(),
+                                     session.monitored(nmax).end());
   if (monitored.empty()) {
     // Fall back to the hardest faults available so the bench always runs.
-    monitored = analysis.worst.indices_at_least(
-        std::max<std::uint64_t>(2, analysis.worst.max_finite_nmin()));
+    monitored = session.worst_case().indices_at_least(
+        std::max<std::uint64_t>(2, session.worst_case().max_finite_nmin()));
     std::printf("(no faults with nmin > %d in %s; monitoring the %zu faults "
                 "with the largest nmin instead)\n\n",
                 nmax, name.c_str(), monitored.size());
   }
 
-  const auto run = [&](std::size_t k, std::uint64_t seed) {
-    Procedure1Config config;
-    config.nmax = nmax;
-    config.num_sets = k;
-    config.seed = seed;
-    config.num_threads = threads;
-    return run_procedure1(analysis.db, monitored, config);
+  const auto run =
+      [&](std::size_t k, std::uint64_t seed) -> const AverageCaseResult& {
+    Procedure1Request request;
+    request.nmax = nmax;
+    request.num_sets = k;
+    request.seed = seed;
+    request.monitored = monitored;
+    return session.average_case(request);
   };
 
   std::fprintf(stderr, "[ndetect] reference run K=%zu ...\n", kmax);
-  const AverageCaseResult reference = run(kmax, 777);
+  const AverageCaseResult& reference = run(kmax, 777);
 
   TextTable table({"K", "max |dp|", "mean |dp|"});
   for (std::size_t k = 25; k <= kmax / 2; k *= 2) {
-    const AverageCaseResult sample = run(k, 1234 + k);
+    const AverageCaseResult& sample = run(k, 1234 + k);
     double max_dev = 0.0, sum_dev = 0.0;
     for (std::size_t j = 0; j < monitored.size(); ++j) {
       const double dev =

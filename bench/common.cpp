@@ -17,12 +17,24 @@ std::vector<std::string> suite_names() {
   return names;
 }
 
-CircuitAnalysis analyze_circuit(const std::string& name) {
+AnalysisSession analyze_circuit(const std::string& name,
+                                SessionOptions options) {
   std::fprintf(stderr, "[ndetect] analyzing %s ...\n", name.c_str());
-  Circuit circuit = circuit_by_name(name);
-  DetectionDb db = DetectionDb::build(circuit);
-  WorstCaseResult worst = analyze_worst_case(db);
-  return CircuitAnalysis{std::move(circuit), std::move(db), std::move(worst)};
+  AnalysisSession session(name, options);
+  session.worst_case();
+  return session;
+}
+
+std::vector<AnalysisSession> batch_sessions(
+    const std::vector<std::string>& names,
+    std::vector<Procedure1Request> average, SessionOptions options) {
+  std::vector<SessionRequest> requests;
+  requests.reserve(names.size());
+  for (const std::string& name : names) {
+    std::fprintf(stderr, "[ndetect] queueing %s ...\n", name.c_str());
+    requests.push_back({name, average});
+  }
+  return run_batch(requests, options);
 }
 
 void banner(const std::string& title, const std::string& paper_reference,

@@ -9,7 +9,6 @@
 #include <cstdio>
 
 #include "common.hpp"
-#include "core/detection_db.hpp"
 #include "core/reports.hpp"
 #include "fsm/benchmarks.hpp"
 #include "util/cli.hpp"
@@ -26,19 +25,17 @@ int main(int argc, char** argv) {
                 "--encoding=onehot reaches the paper's magnitudes",
                 "--circuit --cutoff --encoding=binary|gray|onehot");
 
-  const bench::CircuitAnalysis analysis = [&]() -> bench::CircuitAnalysis {
+  AnalysisSession session = [&] {
     if (encoding == "binary") return bench::analyze_circuit(name);
     const StateEncoding enc = encoding == "onehot" ? StateEncoding::kOneHot
                                                    : StateEncoding::kGray;
-    Circuit circuit = fsm_benchmark_circuit(name, enc);
-    DetectionDb db = DetectionDb::build(circuit);
-    WorstCaseResult worst = analyze_worst_case(db);
-    return {std::move(circuit), std::move(db), std::move(worst)};
+    return AnalysisSession(fsm_benchmark_circuit(name, enc));
   }();
-  auto histogram = figure2_histogram(analysis.worst, cutoff);
+  const WorstCaseResult& worst = session.worst_case();
+  auto histogram = figure2_histogram(worst, cutoff);
   while (histogram.empty() && cutoff > 1) {
     cutoff /= 2;
-    histogram = figure2_histogram(analysis.worst, cutoff);
+    histogram = figure2_histogram(worst, cutoff);
     std::printf("(no faults above the requested cutoff; lowered to %llu)\n",
                 static_cast<unsigned long long>(cutoff));
   }
@@ -49,9 +46,9 @@ int main(int argc, char** argv) {
   std::printf(
       "\n%zu of %zu detectable bridging faults have nmin >= %llu; largest\n"
       "finite nmin = %llu; never-guaranteed faults: %zu.\n",
-      tail, analysis.worst.nmin.size(),
+      tail, worst.nmin.size(),
       static_cast<unsigned long long>(cutoff),
-      static_cast<unsigned long long>(analysis.worst.max_finite_nmin()),
-      analysis.worst.count_at_least(kNeverGuaranteed));
+      static_cast<unsigned long long>(worst.max_finite_nmin()),
+      worst.count_at_least(kNeverGuaranteed));
   return 0;
 }

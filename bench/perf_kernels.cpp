@@ -225,9 +225,10 @@ void BM_PartitionedWorstCase(benchmark::State& state) {
 BENCHMARK(BM_PartitionedWorstCase)->Arg(1)->Arg(0);
 
 // Procedure 1, sharded over its K sets: arguments are {K, worker threads}
-// (0 = serial on the calling thread).  Results are bit-identical at every
-// width, so the thread column is pure wall-clock; the .../1 rows isolate the
-// per-set worklist win over the classic n x targets x K sweep.
+// (1 = serial on the calling thread, 0 = all hardware).  Results are
+// bit-identical at every width, so the thread column is pure wall-clock; the
+// .../1 rows isolate the per-set worklist win over the classic
+// n x targets x K sweep.
 void BM_Procedure1Def1(benchmark::State& state) {
   const DetectionDb& db = bench_db();
   std::vector<std::size_t> monitored(std::min<std::size_t>(32, db.untargeted().size()));

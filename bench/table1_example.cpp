@@ -22,8 +22,8 @@ int main() {
                 "nmin(g0) = 3",
                 "");
 
-  const bench::CircuitAnalysis analysis = bench::analyze_circuit("paper_example");
-  const DetectionDb& db = analysis.db;
+  AnalysisSession session = bench::analyze_circuit("paper_example");
+  const DetectionDb& db = session.db();
 
   // g0 = (9,0,10,1) is the first enumerated bridging fault.
   std::printf("g0 = %s, T(g0) = {6,7}\n\n",
@@ -46,7 +46,7 @@ int main() {
   std::printf("\nnmin(g0) = %llu   (paper: 3)\n",
               static_cast<unsigned long long>(nmin_g0));
 
-  const WorstCaseResult& worst = analysis.worst;
+  const WorstCaseResult& worst = session.worst_case();
   std::printf("nmin(g6) = %llu   (paper, Section 3: 4)\n",
               static_cast<unsigned long long>(worst.nmin[6]));
   return 0;

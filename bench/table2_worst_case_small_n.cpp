@@ -7,7 +7,8 @@
 // (typically 50-98%), very large at n = 10, and a saturating group of
 // circuits that do not reach 100% even at n = 10.
 //
-// Options: --circuits=a,b,c (subset), positional circuit names also work.
+// Options: --circuits=a,b,c (subset), positional circuit names also work,
+// --threads (0 = all), --json=<path> for machine-readable rows.
 
 #include <cstdio>
 #include <sstream>
@@ -15,15 +16,16 @@
 #include "common.hpp"
 #include "core/reports.hpp"
 #include "util/cli.hpp"
+#include "util/json.hpp"
 
 int main(int argc, char** argv) {
   using namespace ndet;
-  const CliArgs args(argc, argv, {"circuits"});
+  const CliArgs args(argc, argv, {"circuits", "threads", "json"});
   bench::banner(
       "Table 2: worst-case percentages of detected faults (small n)",
       "e.g. bbara: 80.42 84.85 89.28 89.51 92.31 97.55; dvram saturates at "
       "88.78; lion reaches 100.00 at n=1",
-      "--circuits=a,b,c to subset");
+      "--circuits=a,b,c to subset --threads (0 = all) --json=<path>");
 
   std::vector<std::string> names = args.positional();
   if (args.has("circuits")) {
@@ -33,12 +35,16 @@ int main(int argc, char** argv) {
   }
   if (names.empty()) names = bench::suite_names();
 
+  SessionOptions options;
+  options.num_threads = static_cast<unsigned>(args.get_u64("threads", 0));
+  std::vector<AnalysisSession> sessions =
+      bench::batch_sessions(names, {}, options);
+
   std::vector<Table2Row> rows;
-  for (const std::string& name : names) {
-    const bench::CircuitAnalysis analysis = bench::analyze_circuit(name);
-    rows.push_back(make_table2_row(name, analysis.worst));
-  }
+  for (std::size_t i = 0; i < sessions.size(); ++i)
+    rows.push_back(make_table2_row(names[i], sessions[i].worst_case()));
   std::fputs(render_table2(rows).render().c_str(), stdout);
+  if (args.has("json")) write_json_file(args.get("json", ""), to_json(rows));
   std::printf(
       "\ncolumns: cumulative %% of detectable non-feedback four-way bridging\n"
       "faults g with nmin(g) <= n; blank after the first 100.00 (paper\n"

@@ -13,15 +13,17 @@
 #include "common.hpp"
 #include "core/reports.hpp"
 #include "util/cli.hpp"
+#include "util/json.hpp"
 
 int main(int argc, char** argv) {
   using namespace ndet;
-  const CliArgs args(argc, argv, {"circuits", "all"});
+  const CliArgs args(argc, argv, {"circuits", "all", "threads", "json"});
   bench::banner(
       "Table 3: worst-case numbers of detected faults (large n)",
       "e.g. keyb: 0 / 206 (0.99) / 474 (2.27); dvram: 1256 (8.52) / 1653 "
       "(11.22) / 1653 (11.22)",
-      "--circuits=a,b,c to subset, --all to include empty-tail circuits");
+      "--circuits=a,b,c to subset, --all to include empty-tail circuits, "
+      "--threads (0 = all), --json=<path>");
 
   std::vector<std::string> names = args.positional();
   if (args.has("circuits")) {
@@ -31,14 +33,19 @@ int main(int argc, char** argv) {
   }
   if (names.empty()) names = bench::suite_names();
 
+  SessionOptions options;
+  options.num_threads = static_cast<unsigned>(args.get_u64("threads", 0));
+  std::vector<AnalysisSession> sessions =
+      bench::batch_sessions(names, {}, options);
+
   std::vector<Table3Row> rows;
-  for (const std::string& name : names) {
-    const bench::CircuitAnalysis analysis = bench::analyze_circuit(name);
-    const Table3Row row = make_table3_row(name, analysis.worst);
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    const Table3Row row = make_table3_row(names[i], sessions[i].worst_case());
     if (row.count[2] == 0 && !args.has("all")) continue;  // paper convention
     rows.push_back(row);
   }
   std::fputs(render_table3(rows).render().c_str(), stdout);
+  if (args.has("json")) write_json_file(args.get("json", ""), to_json(rows));
   std::printf(
       "\ncolumns: #faults (and %% of the circuit's detectable bridging\n"
       "faults) with nmin(g) >= 100 / >= 20 / >= 11.  Circuits whose tail is\n"

@@ -13,7 +13,6 @@
 #include <sstream>
 
 #include "common.hpp"
-#include "core/procedure1.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -28,18 +27,18 @@ int main(int argc, char** argv) {
                 "authors' RNG",
                 "--k --nmax --seed");
 
-  const bench::CircuitAnalysis analysis = bench::analyze_circuit("paper_example");
-  const DetectionDb& db = analysis.db;
+  AnalysisSession session = bench::analyze_circuit("paper_example");
+  const DetectionDb& db = session.db();
 
   // Monitor g6 = (11,0,9,1) with T = {12}; it sits at index 6 after the
   // detectability filter (validated in the test suite).
-  const std::vector<std::size_t> monitored{6};
-  Procedure1Config config;
-  config.nmax = nmax;
-  config.num_sets = k;
-  config.seed = seed;
-  config.keep_test_sets = true;
-  const AverageCaseResult result = run_procedure1(db, monitored, config);
+  Procedure1Request request;
+  request.nmax = nmax;
+  request.num_sets = k;
+  request.seed = seed;
+  request.keep_test_sets = true;
+  request.monitored = std::vector<std::size_t>{6};
+  const AverageCaseResult& result = session.average_case(request);
 
   std::vector<std::string> headers{"k"};
   for (int n = 1; n <= nmax; ++n) headers.push_back("n=" + std::to_string(n));

@@ -13,23 +13,25 @@
 #include <sstream>
 
 #include "common.hpp"
-#include "core/procedure1.hpp"
 #include "core/reports.hpp"
 #include "util/cli.hpp"
-#include "util/thread_pool.hpp"
+#include "util/json.hpp"
 
 int main(int argc, char** argv) {
   using namespace ndet;
-  const CliArgs args(argc, argv, {"circuits", "k", "seed", "nmax", "threads"});
-  const std::size_t k = args.get_u64("k", 60);
-  const int nmax = static_cast<int>(args.get_u64("nmax", 10));
-  const std::uint64_t seed = args.get_u64("seed", 2005);
-  const unsigned threads = resolve_thread_count(
-      static_cast<unsigned>(args.get_u64("threads", 0)));
+  const CliArgs args(argc, argv,
+                     {"circuits", "k", "seed", "nmax", "threads", "json"});
+  Procedure1Request def1;
+  def1.num_sets = args.get_u64("k", 60);
+  def1.nmax = static_cast<int>(args.get_u64("nmax", 10));
+  def1.seed = args.get_u64("seed", 2005);
+  Procedure1Request def2 = def1;
+  def2.definition = DetectionDefinition::kDissimilar;
   bench::banner(
       "Table 6: detection probabilities under Definitions 1 and 2",
       "e.g. keyb 474 faults at p>=0.8: 381 (def 1) vs 440 (def 2); K=1000",
-      "--k (default 60) --nmax --seed --threads (0 = all) --circuits=a,b,c");
+      "--k (default 60) --nmax --seed --threads (0 = all) --circuits=a,b,c "
+      "--json=<path>");
 
   std::vector<std::string> names = args.positional();
   if (args.has("circuits")) {
@@ -39,46 +41,48 @@ int main(int argc, char** argv) {
   }
   if (names.empty()) names = bench::suite_names();
 
-  std::vector<ProbabilityRow> rows;
-  for (const std::string& name : names) {
-    const bench::CircuitAnalysis analysis = bench::analyze_circuit(name);
-    const auto monitored =
-        analysis.worst.indices_at_least(static_cast<std::uint64_t>(nmax) + 1);
-    if (monitored.empty()) continue;
+  SessionOptions options;
+  options.num_threads = static_cast<unsigned>(args.get_u64("threads", 0));
+  std::vector<AnalysisSession> sessions =
+      bench::batch_sessions(names, {def1, def2}, options);
 
-    Procedure1Config config;
-    config.nmax = nmax;
-    config.num_sets = k;
-    config.seed = seed;
-    config.num_threads = threads;
-    const AverageCaseResult def1 = run_procedure1(analysis.db, monitored, config);
-    config.definition = DetectionDefinition::kDissimilar;
-    const AverageCaseResult def2 = run_procedure1(analysis.db, monitored, config);
-    rows.push_back(make_probability_row(name, def1, nmax));
-    rows.push_back(make_probability_row(name, def2, nmax));
+  std::vector<ProbabilityRow> rows;
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    AnalysisSession& session = sessions[i];
+    if (session.monitored(def1.nmax).empty()) continue;
+
+    // Both queries were computed by the batch; these are memo hits.
+    const AverageCaseResult& first = session.average_case(def1);
+    const AverageCaseResult& second = session.average_case(def2);
+    rows.push_back(make_probability_row(names[i], first, def1.nmax));
+    rows.push_back(make_probability_row(names[i], second, def2.nmax));
     std::fprintf(stderr,
                  "[ndetect]   %s: def2 stats: %llu tests added, %llu "
                  "fallbacks, %llu oracle calls\n",
-                 name.c_str(),
-                 static_cast<unsigned long long>(def2.stats.tests_added),
-                 static_cast<unsigned long long>(def2.stats.def1_fallbacks),
-                 static_cast<unsigned long long>(def2.stats.distinct_queries));
+                 names[i].c_str(),
+                 static_cast<unsigned long long>(second.stats.tests_added),
+                 static_cast<unsigned long long>(second.stats.def1_fallbacks),
+                 static_cast<unsigned long long>(
+                     second.stats.distinct_queries));
     std::fprintf(stderr,
                  "[ndetect]   %s: def2 caches (%u workers): %llu good sims, "
                  "%llu hits / %llu misses; %s\n",
-                 name.c_str(), threads,
+                 names[i].c_str(), session.pool().thread_count(),
                  static_cast<unsigned long long>(
-                     def2.def2_cache.good_sim_entries),
-                 static_cast<unsigned long long>(def2.def2_cache.verdict_hits),
+                     second.def2_cache.good_sim_entries),
                  static_cast<unsigned long long>(
-                     def2.def2_cache.verdict_misses),
-                 describe_set_memory(analysis.db).c_str());
+                     second.def2_cache.verdict_hits),
+                 static_cast<unsigned long long>(
+                     second.def2_cache.verdict_misses),
+                 describe_set_memory(session.db()).c_str());
   }
   std::fputs(render_table6(rows).render().c_str(), stdout);
+  if (args.has("json")) write_json_file(args.get("json", ""), to_json(rows));
   std::printf(
       "\nper circuit: first row Definition 1, second row Definition 2; cells\n"
       "count monitored faults (nmin > %d) with p(%d,g) >= threshold.\n"
-      "K = %zu (paper: 1000; raise with --k).  Definition 2 rows should dominate.\n",
-      nmax, nmax, k);
+      "K = %zu (paper: 1000; raise with --k).  Definition 2 rows should "
+      "dominate.\n",
+      def1.nmax, def1.nmax, def1.num_sets);
   return 0;
 }

@@ -1,63 +1,68 @@
 // average_case_report.cpp -- the paper's Section-3 analysis as a CLI tool.
 //
 //   average_case_report [circuit] [--k=500] [--nmax=10] [--seed=1]
-//                       [--def=1|2] [--threads=0]
+//                       [--def=1|2] [--threads=0] [--json=<path>]
 //
-// Runs the worst-case analysis to find the faults an nmax-detection test set
-// is not guaranteed to detect, then estimates their detection probabilities
-// with K random n-detection test sets (Procedure 1) and prints the
-// Table-5-style histogram together with the escape statistics the paper
-// suggests deriving from it.
+// Opens an AnalysisSession, finds the faults an nmax-detection test set is
+// not guaranteed to detect (the worst-case stage), then estimates their
+// detection probabilities with K random n-detection test sets (Procedure 1)
+// and prints the Table-5-style histogram together with the escape
+// statistics the paper suggests deriving from it.  --json= writes the
+// worst-case and average-case results plus session telemetry as JSON.
 
 #include <algorithm>
 #include <cstdio>
 
-#include "common.hpp"
-#include "core/detection_db.hpp"
 #include "core/escape.hpp"
-#include "core/procedure1.hpp"
 #include "core/reports.hpp"
-#include "core/worst_case.hpp"
+#include "core/session.hpp"
 #include "util/cli.hpp"
+#include "util/json.hpp"
 
 int main(int argc, char** argv) {
   using namespace ndet;
-  const CliArgs args(argc, argv, {"k", "nmax", "seed", "def", "threads"});
+  const CliArgs args(argc, argv,
+                     {"k", "nmax", "seed", "def", "threads", "json"});
   const std::string name =
       args.positional().empty() ? "beecount" : args.positional()[0];
-  Procedure1Config config;
-  config.num_sets = args.get_u64("k", 500);
-  config.nmax = static_cast<int>(args.get_u64("nmax", 10));
-  config.seed = args.get_u64("seed", 1);
-  config.definition = args.get_u64("def", 1) == 2
-                          ? DetectionDefinition::kDissimilar
-                          : DetectionDefinition::kStandard;
-  config.num_threads = examples::procedure1_threads_from(args);
+  Procedure1Request request;
+  request.num_sets = args.get_u64("k", 500);
+  request.nmax = static_cast<int>(args.get_u64("nmax", 10));
+  request.seed = args.get_u64("seed", 1);
+  request.definition = args.get_u64("def", 1) == 2
+                           ? DetectionDefinition::kDissimilar
+                           : DetectionDefinition::kStandard;
 
-  const Circuit circuit = resolve_circuit(name);
-  const DetectionDb db =
-      DetectionDb::build(circuit, examples::db_options_from(args));
-  const WorstCaseResult worst =
-      analyze_worst_case(db, examples::analysis_options_from(args));
+  SessionOptions options;
+  options.num_threads = static_cast<unsigned>(args.get_u64("threads", 0));
+  AnalysisSession session(name, options);
 
-  auto monitored =
-      worst.indices_at_least(static_cast<std::uint64_t>(config.nmax) + 1);
+  const auto write_json = [&](const AverageCaseResult* avg) {
+    if (!args.has("json")) return;
+    const std::string path = args.get("json", "");
+    write_json_file(path, session_report_json(session, avg));
+    std::printf("\nwrote %s\n", path.c_str());
+  };
+
+  const auto monitored = session.monitored(request.nmax);
   std::printf("%s: %zu bridging faults, %zu not guaranteed by an "
               "%d-detection test set\n",
-              name.c_str(), db.untargeted().size(), monitored.size(),
-              config.nmax);
+              name.c_str(), session.db().untargeted().size(), monitored.size(),
+              request.nmax);
   if (monitored.empty()) {
     std::printf("nothing to estimate: every fault is guaranteed at "
-                "n <= %d.\n", config.nmax);
+                "n <= %d.\n", request.nmax);
+    write_json(nullptr);
     return 0;
   }
 
-  const AverageCaseResult avg = run_procedure1(db, monitored, config);
-  std::printf("%s\n", describe_set_memory(db).c_str());
-  if (config.definition == DetectionDefinition::kDissimilar)
+  const AverageCaseResult& avg = session.average_case(request);
+  std::printf("%s\n", describe_set_memory(session.db()).c_str());
+  const unsigned workers = session.pool().thread_count();
+  if (request.definition == DetectionDefinition::kDissimilar)
     std::printf("def2 oracle (%u workers): %llu good ternary sims cached, "
                 "%llu verdict hits / %llu misses\n",
-                config.num_threads,
+                workers,
                 static_cast<unsigned long long>(
                     avg.def2_cache.good_sim_entries),
                 static_cast<unsigned long long>(avg.def2_cache.verdict_hits),
@@ -65,16 +70,18 @@ int main(int argc, char** argv) {
                     avg.def2_cache.verdict_misses));
   std::printf("\nK = %zu random %d-detection test sets (Definition %d, "
               "%u workers); faults with p(%d,g) >= threshold:\n\n",
-              config.num_sets, config.nmax,
-              config.definition == DetectionDefinition::kStandard ? 1 : 2,
-              config.num_threads, config.nmax);
+              request.num_sets, request.nmax,
+              request.definition == DetectionDefinition::kStandard ? 1 : 2,
+              workers, request.nmax);
   std::fputs(
-      render_table5({make_probability_row(name, avg, config.nmax)}).render().c_str(),
+      render_table5({make_probability_row(name, avg, request.nmax)})
+          .render()
+          .c_str(),
       stdout);
 
   // The paper: "The probabilities of detection ... can be used to calculate
   // the probability that an untargeted fault escapes detection."
-  const EscapeReport escape = compute_escape_report(avg, config.nmax);
+  const EscapeReport escape = compute_escape_report(avg, request.nmax);
   std::printf("\nescape analysis at n = %d:\n", escape.n);
   std::printf("  faults detected with probability 1 : %zu of %zu\n",
               escape.guaranteed_detected, escape.monitored_faults);
@@ -86,18 +93,22 @@ int main(int argc, char** argv) {
               escape.worst_fault_probability);
 
   // Show the five hardest faults explicitly.
+  const WorstCaseResult& worst = session.worst_case();
   std::vector<std::size_t> order(monitored.size());
   for (std::size_t j = 0; j < order.size(); ++j) order[j] = j;
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return avg.probability(config.nmax, a) < avg.probability(config.nmax, b);
+    return avg.probability(request.nmax, a) < avg.probability(request.nmax, b);
   });
   std::printf("\nhardest faults:\n");
   for (std::size_t r = 0; r < std::min<std::size_t>(5, order.size()); ++r) {
     const std::size_t j = order[r];
     std::printf("  %-14s nmin = %-6llu p(%d,g) = %.3f\n",
-                to_string(db.untargeted()[monitored[j]], circuit).c_str(),
+                to_string(session.db().untargeted()[monitored[j]],
+                          session.circuit())
+                    .c_str(),
                 static_cast<unsigned long long>(worst.nmin[monitored[j]]),
-                config.nmax, avg.probability(config.nmax, j));
+                request.nmax, avg.probability(request.nmax, j));
   }
+  write_json(&avg);
   return 0;
 }

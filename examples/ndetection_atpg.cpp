@@ -2,16 +2,15 @@
 // scenario the paper's introduction motivates: generate n-detection sets
 // with a stock ATPG (PODEM) for growing n and watch the untargeted
 // (bridging) fault coverage climb -- then compare against the worst-case
-// guarantee, which tells us when climbing further stops helping.
+// guarantee from the analysis session, which tells us when climbing
+// further stops helping.
 //
 //   ndetection_atpg [circuit] [--nmax=10] [--seed=1] [--threads=0]
 
 #include <cstdio>
 
 #include "atpg/ndetect.hpp"
-#include "common.hpp"
-#include "core/detection_db.hpp"
-#include "core/worst_case.hpp"
+#include "core/session.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -23,13 +22,13 @@ int main(int argc, char** argv) {
   const int nmax = static_cast<int>(args.get_u64("nmax", 10));
   const std::uint64_t seed = args.get_u64("seed", 1);
 
-  const Circuit circuit = resolve_circuit(name);
-  const LineModel lines(circuit);
+  SessionOptions options;
+  options.num_threads = static_cast<unsigned>(args.get_u64("threads", 0));
+  AnalysisSession session(name, options);
+  const DetectionDb& db = session.db();
+  const WorstCaseResult& worst = session.worst_case();
+  const LineModel lines(session.circuit());
   const auto faults = collapse_stuck_at_faults(lines);
-  const DetectionDb db =
-      DetectionDb::build(circuit, examples::db_options_from(args));
-  const WorstCaseResult worst =
-      analyze_worst_case(db, examples::analysis_options_from(args));
 
   std::printf("%s: %zu target faults, %zu bridging faults\n\n", name.c_str(),
               faults.size(), db.untargeted().size());

@@ -6,13 +6,12 @@
 //
 // The circuit's primary outputs are grouped greedily so that each group's
 // input support fits the exhaustive budget; every cone is analyzed
-// independently (cones shard across the worker pool) and the per-cone
-// worst-case summaries are reported.
+// independently (cones shard across the session's worker pool) and the
+// per-cone worst-case summaries are reported.
 
 #include <cstdio>
 
-#include "common.hpp"
-#include "core/partition.hpp"
+#include "core/session.hpp"
 #include "netlist/stats.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -26,13 +25,14 @@ int main(int argc, char** argv) {
   // budget must admit a 7-input cone.
   const std::size_t budget = args.get_u64("budget", 7);
 
-  const Circuit circuit = resolve_circuit(name);
-  std::printf("%s\n", to_string(compute_stats(circuit)).c_str());
+  SessionOptions options;
+  options.num_threads = static_cast<unsigned>(args.get_u64("threads", 0));
+  AnalysisSession session(name, options);
+  std::printf("%s\n", to_string(compute_stats(session.circuit())).c_str());
   std::printf("partitioning with an exhaustive budget of %zu inputs per "
               "cone...\n\n", budget);
 
-  const auto reports = partitioned_worst_case(
-      circuit, budget, examples::analysis_options_from(args));
+  const auto& reports = session.partitioned(budget);
   TextTable table({"cone", "inputs", "outputs", "gates", "|G|",
                    "nmin<=10 %", "max nmin", "never"});
   for (const auto& report : reports)

@@ -1,16 +1,16 @@
 // quickstart.cpp -- the five-minute tour of the library.
 //
 // Builds the paper's Figure-1 example circuit through the public builder
-// API, computes exhaustive detection sets for the collapsed stuck-at
-// targets and the four-way bridging faults, and answers the paper's two
-// questions for it:
+// API, opens an AnalysisSession on it -- the one front door to the
+// pipeline: the exhaustive detection-set database, the worst-case analysis,
+// and Procedure 1 all hang off the session and are computed lazily, once --
+// and answers the paper's two questions for it:
 //   1. how much bridging-fault coverage is guaranteed at each n, and
 //   2. how large n must be to guarantee all of it.
 
 #include <cstdio>
 
-#include "core/detection_db.hpp"
-#include "core/worst_case.hpp"
+#include "core/session.hpp"
 #include "faults/stuck_at.hpp"
 #include "netlist/circuit.hpp"
 
@@ -29,24 +29,24 @@ int main() {
   builder.mark_output(g9);
   builder.mark_output(g10);
   builder.mark_output(g11);
-  const Circuit circuit = builder.build();
 
-  // --- 2. Build the detection-set database. -------------------------------
-  // F = collapsed single stuck-at faults, G = detectable non-feedback
-  // four-way bridging faults between outputs of multi-input gates, with all
-  // T(.) computed over the full input space U.
-  const DetectionDb db = DetectionDb::build(circuit);
+  // --- 2. Open a session: one object owns the whole pipeline. -------------
+  // The database (F = collapsed stuck-at faults, G = detectable four-way
+  // bridging faults, all T(.) over the full input space U) is built on the
+  // first db() call and reused by every later stage.
+  AnalysisSession session(builder.build());
+  const DetectionDb& db = session.db();
   std::printf("circuit %s: %zu targets (F), %zu detectable bridging faults "
               "(G) out of %zu enumerated, |U| = %llu\n\n",
-              circuit.name().c_str(), db.targets().size(),
+              session.circuit().name().c_str(), db.targets().size(),
               db.untargeted().size(), db.enumerated_untargeted(),
               static_cast<unsigned long long>(db.vector_count()));
 
   // --- 3. Worst-case analysis (Section 2 of the paper). -------------------
-  const WorstCaseResult worst = analyze_worst_case(db);
+  const WorstCaseResult& worst = session.worst_case();
   for (std::size_t j = 0; j < db.untargeted().size(); ++j)
     std::printf("  %-12s  nmin = %llu\n",
-                to_string(db.untargeted()[j], circuit).c_str(),
+                to_string(db.untargeted()[j], session.circuit()).c_str(),
                 static_cast<unsigned long long>(worst.nmin[j]));
 
   std::printf("\nguaranteed bridging coverage of any n-detection test set:\n");
@@ -57,5 +57,29 @@ int main() {
               "this circuit\n   is guaranteed to detect all of its bridging "
               "faults (max nmin = %llu).\n",
               static_cast<unsigned long long>(worst.max_finite_nmin()));
+
+  // --- 4. Average-case analysis (Section 3 of the paper). -----------------
+  // Estimate p(n,g) for every bridging fault with K random n-detection test
+  // sets.  Repeating the query hits the session's memo: the database and
+  // nmin vector above are never rebuilt.
+  Procedure1Request request;
+  request.nmax = 2;
+  request.num_sets = 100;
+  const AverageCaseResult& avg = session.average_case(request);
+  std::printf("\naverage case (K = %zu random 2-detection test sets): the\n"
+              "%zu faults not guaranteed at n = 2 are still detected with\n",
+              request.num_sets, avg.monitored.size());
+  for (std::size_t j = 0; j < avg.monitored.size(); ++j)
+    std::printf("  %-12s  p(2,g) = %.2f\n",
+                to_string(db.untargeted()[avg.monitored[j]],
+                          session.circuit()).c_str(),
+                avg.probability(2, j));
+
+  const SessionStats stats = session.stats();
+  std::printf("\nsession: %u workers, db %.1f ms, worst case %.1f ms, "
+              "average case %.1f ms, %zu set bytes\n",
+              stats.thread_count, 1e3 * stats.db_seconds,
+              1e3 * stats.worst_case_seconds,
+              1e3 * stats.average_case_seconds, stats.set_memory_bytes);
   return 0;
 }

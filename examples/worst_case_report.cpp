@@ -1,37 +1,40 @@
 // worst_case_report.cpp -- the paper's Section-2 analysis as a CLI tool.
 //
 //   worst_case_report [circuit] [--nmax=10] [--detail=5] [--threads=0]
+//                     [--json=<path>]
 //
 // `circuit` is an FSM benchmark name (e.g. bbara), an embedded combinational
 // circuit (e.g. c17), or a path to a .bench file.  The report covers
 // everything a test engineer would ask of the worst-case analysis: circuit
 // statistics, guaranteed coverage per n, the tail that needs n > nmax, and a
 // drill-down of the hardest faults with their limiting target faults.
+// --json= additionally writes the full result (nmin vector, summary
+// counters, session telemetry) as a JSON document.
 
 #include <algorithm>
 #include <cstdio>
 
-#include "common.hpp"
-#include "core/detection_db.hpp"
 #include "core/reports.hpp"
-#include "core/worst_case.hpp"
+#include "core/session.hpp"
 #include "faults/stuck_at.hpp"
 #include "netlist/stats.hpp"
 #include "util/cli.hpp"
+#include "util/json.hpp"
 
 int main(int argc, char** argv) {
   using namespace ndet;
-  const CliArgs args(argc, argv, {"nmax", "detail", "threads"});
+  const CliArgs args(argc, argv, {"nmax", "detail", "threads", "json"});
   const std::string name =
       args.positional().empty() ? "bbara" : args.positional()[0];
   const auto nmax = args.get_u64("nmax", 10);
   const auto detail = args.get_u64("detail", 5);
 
-  const Circuit circuit = resolve_circuit(name);
-  std::printf("%s\n\n", to_string(compute_stats(circuit)).c_str());
+  SessionOptions options;
+  options.num_threads = static_cast<unsigned>(args.get_u64("threads", 0));
+  AnalysisSession session(name, options);
+  std::printf("%s\n\n", to_string(compute_stats(session.circuit())).c_str());
 
-  const DetectionDb db =
-      DetectionDb::build(circuit, examples::db_options_from(args));
+  const DetectionDb& db = session.db();
   std::printf("targets F: %zu collapsed stuck-at faults (%zu detectable)\n",
               db.targets().size(), db.detectable_target_count());
   std::printf("untargeted G: %zu detectable four-way bridging faults "
@@ -39,8 +42,7 @@ int main(int argc, char** argv) {
               db.untargeted().size(), db.enumerated_untargeted());
   std::printf("%s\n\n", describe_set_memory(db).c_str());
 
-  const WorstCaseResult worst =
-      analyze_worst_case(db, examples::analysis_options_from(args));
+  const WorstCaseResult& worst = session.worst_case();
   std::printf("guaranteed coverage of any n-detection test set:\n");
   for (std::uint64_t n = 1; n <= nmax; ++n)
     std::printf("  n = %2llu: %7.2f%%\n", static_cast<unsigned long long>(n),
@@ -65,7 +67,7 @@ int main(int argc, char** argv) {
   hardest.resize(std::min<std::size_t>(hardest.size(), detail));
   for (const std::size_t j : hardest) {
     std::printf("\n  %s  (nmin = %llu, |T(g)| = %zu)\n",
-                to_string(db.untargeted()[j], circuit).c_str(),
+                to_string(db.untargeted()[j], session.circuit()).c_str(),
                 static_cast<unsigned long long>(worst.nmin[j]),
                 db.untargeted_sets()[j].count());
     auto entries = overlap_entries(db, j);
@@ -79,6 +81,12 @@ int main(int argc, char** argv) {
                       .c_str(),
                   entries[e].n_f, entries[e].m_gf,
                   static_cast<unsigned long long>(entries[e].nmin_gf));
+  }
+
+  if (args.has("json")) {
+    const std::string path = args.get("json", "");
+    write_json_file(path, session_report_json(session));
+    std::printf("\nwrote %s\n", path.c_str());
   }
   return 0;
 }

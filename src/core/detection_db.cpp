@@ -5,11 +5,19 @@
 #include "netlist/reach.hpp"
 #include "sim/batch_fault_sim.hpp"
 #include "sim/exhaustive.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ndet {
 
 DetectionDb DetectionDb::build(const Circuit& circuit,
                                const DetectionDbOptions& options) {
+  const ThreadPool pool(options.num_threads);
+  return build(circuit, options, pool);
+}
+
+DetectionDb DetectionDb::build(const Circuit& circuit,
+                               const DetectionDbOptions& options,
+                               const ThreadPool& pool) {
   DetectionDb db;
   db.circuit_ = std::make_shared<const Circuit>(circuit);
   db.lines_ = std::make_shared<const LineModel>(*db.circuit_);
@@ -17,8 +25,7 @@ DetectionDb DetectionDb::build(const Circuit& circuit,
 
   const ExhaustiveSimulator good(*db.circuit_, options.max_inputs);
   db.vector_count_ = good.vector_count();
-  const BatchFaultSimulator simulator(good, *db.lines_,
-                                      {.num_threads = options.num_threads});
+  const BatchFaultSimulator simulator(good, *db.lines_, pool);
 
   // F: collapsed single stuck-at faults, with their detection sets.
   db.targets_ = collapse_stuck_at_faults(*db.lines_);
@@ -63,27 +70,12 @@ std::size_t DetectionDb::dense_memory_bytes() const {
              static_cast<std::size_t>(vector_count_));
 }
 
-namespace {
-
-template <typename Set>
-std::vector<Bitset> transpose_impl(std::span<const Set> sets,
-                                   std::uint64_t vector_count) {
+std::vector<Bitset> transpose_detection_sets(std::span<const DetectionSet> sets,
+                                             std::uint64_t vector_count) {
   std::vector<Bitset> rows(vector_count, Bitset(sets.size()));
   for (std::size_t i = 0; i < sets.size(); ++i)
     sets[i].for_each_set([&](std::size_t v) { rows[v].set(i); });
   return rows;
-}
-
-}  // namespace
-
-std::vector<Bitset> transpose_detection_sets(std::span<const Bitset> sets,
-                                             std::uint64_t vector_count) {
-  return transpose_impl(sets, vector_count);
-}
-
-std::vector<Bitset> transpose_detection_sets(std::span<const DetectionSet> sets,
-                                             std::uint64_t vector_count) {
-  return transpose_impl(sets, vector_count);
 }
 
 }  // namespace ndet

@@ -34,6 +34,8 @@
 
 namespace ndet {
 
+class ThreadPool;
+
 /// Options controlling database construction.
 struct DetectionDbOptions {
   int max_inputs = 20;       ///< exhaustive-simulation input limit
@@ -51,6 +53,12 @@ class DetectionDb {
   /// is self-contained.
   static DetectionDb build(const Circuit& circuit,
                            const DetectionDbOptions& options = {});
+
+  /// Same, on a caller-owned worker pool (AnalysisSession shares one pool
+  /// across every stage); options.num_threads is ignored.
+  static DetectionDb build(const Circuit& circuit,
+                           const DetectionDbOptions& options,
+                           const ThreadPool& pool);
 
   const Circuit& circuit() const { return *circuit_; }
   const LineModel& lines() const { return *lines_; }
@@ -103,8 +111,6 @@ class DetectionDb {
 /// Transposes detection sets: given sets[i] over U, returns per-vector sets
 /// over the fault indices (rows[v].test(i) == sets[i].test(v)).  Used by
 /// Procedure 1 to update detection counts incrementally as tests are added.
-std::vector<Bitset> transpose_detection_sets(std::span<const Bitset> sets,
-                                             std::uint64_t vector_count);
 std::vector<Bitset> transpose_detection_sets(std::span<const DetectionSet> sets,
                                              std::uint64_t vector_count);
 

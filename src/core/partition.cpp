@@ -115,6 +115,13 @@ std::vector<Circuit> partition_by_outputs(const Circuit& circuit,
 std::vector<ConeReport> partitioned_worst_case(const Circuit& circuit,
                                                std::size_t max_inputs,
                                                const AnalysisOptions& options) {
+  const ThreadPool pool(options.num_threads);
+  return partitioned_worst_case(circuit, max_inputs, pool);
+}
+
+std::vector<ConeReport> partitioned_worst_case(const Circuit& circuit,
+                                               std::size_t max_inputs,
+                                               const ThreadPool& pool) {
   const std::vector<Circuit> cones = partition_by_outputs(circuit, max_inputs);
   std::vector<ConeReport> reports(cones.size());
   // One worker per cone, with the pool width split evenly among the cones'
@@ -122,7 +129,6 @@ std::vector<ConeReport> partitioned_worst_case(const Circuit& circuit,
   // floor division can idle a few threads on uneven partitions -- accepted
   // in exchange for never oversubscribing.  Thread counts never change
   // results, only wall time; each worker writes only its own slot.
-  const ThreadPool pool(options.num_threads);
   const unsigned outer = std::max(1u, pool.workers_for(cones.size()));
   const unsigned inner = std::max(1u, pool.thread_count() / outer);
   pool.for_each_index(cones.size(), [&](std::size_t c, unsigned) {

@@ -23,6 +23,8 @@
 
 namespace ndet {
 
+class ThreadPool;
+
 /// Extracts the subcircuit driving `outputs` (transitive fanin cone).
 /// Primary inputs keep their relative order; gate names are preserved.
 Circuit extract_cone(const Circuit& circuit, const std::vector<GateId>& outputs);
@@ -58,5 +60,11 @@ struct ConeReport {
 std::vector<ConeReport> partitioned_worst_case(
     const Circuit& circuit, std::size_t max_inputs,
     const AnalysisOptions& options = {});
+
+/// Same, on a caller-owned worker pool (AnalysisSession shares one pool
+/// across every stage).
+std::vector<ConeReport> partitioned_worst_case(const Circuit& circuit,
+                                               std::size_t max_inputs,
+                                               const ThreadPool& pool);
 
 }  // namespace ndet

@@ -5,6 +5,7 @@
 
 #include "sim/ternary_sim.hpp"
 #include "util/check.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -23,6 +24,49 @@ std::size_t AverageCaseResult::count_probability_at_least(
   for (std::size_t j = 0; j < monitored.size(); ++j)
     if (probability(n, j) >= threshold - 1e-12) ++count;
   return count;
+}
+
+std::string to_json(const AverageCaseResult& result) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("nmax").value(result.config.nmax);
+  w.key("num_sets").value(static_cast<std::uint64_t>(result.config.num_sets));
+  w.key("seed").value(result.config.seed);
+  w.key("definition")
+      .value(result.config.definition == DetectionDefinition::kStandard ? 1 : 2);
+  w.key("def2_probe_limit")
+      .value(static_cast<std::uint64_t>(result.config.def2_probe_limit));
+  w.key("monitored").begin_array();
+  for (const std::size_t j : result.monitored)
+    w.value(static_cast<std::uint64_t>(j));
+  w.end_array();
+  // Exact d(n,g) counts rather than the derived p(n,g): consumers divide by
+  // num_sets themselves and lose nothing to double formatting.
+  w.key("detect_count").begin_array();
+  for (const auto& row : result.detect_count) {
+    w.begin_array();
+    for (const std::uint32_t d : row) w.value(static_cast<std::uint64_t>(d));
+    w.end_array();
+  }
+  w.end_array();
+  w.key("set_sizes").begin_array();
+  for (const auto& row : result.set_sizes) {
+    w.begin_array();
+    for (const std::uint32_t s : row) w.value(static_cast<std::uint64_t>(s));
+    w.end_array();
+  }
+  w.end_array();
+  w.key("stats")
+      .begin_object()
+      .key("tests_added")
+      .value(result.stats.tests_added)
+      .key("def1_fallbacks")
+      .value(result.stats.def1_fallbacks)
+      .key("distinct_queries")
+      .value(result.stats.distinct_queries)
+      .end_object();
+  w.end_object();
+  return w.str();
 }
 
 namespace {
@@ -222,6 +266,14 @@ SetResult run_set_trajectory(const TrajectoryInputs& in, Rng rng,
 AverageCaseResult run_procedure1(const DetectionDb& db,
                                  std::span<const std::size_t> monitored,
                                  const Procedure1Config& config) {
+  const ThreadPool pool(config.num_threads);
+  return run_procedure1(db, monitored, config, pool);
+}
+
+AverageCaseResult run_procedure1(const DetectionDb& db,
+                                 std::span<const std::size_t> monitored,
+                                 const Procedure1Config& config,
+                                 const ThreadPool& pool) {
   require(config.nmax >= 1, "run_procedure1: nmax must be >= 1");
   require(config.num_sets >= 1, "run_procedure1: need at least one test set");
 
@@ -281,10 +333,9 @@ AverageCaseResult run_procedure1(const DetectionDb& db,
   // Shard whole sets across the pool: worker w owns set k end to end and
   // writes only slot k.  Definition-2 workers each own a private oracle, so
   // the hot distinct() path takes no locks (DESIGN.md "Procedure-1
-  // sharding"); num_threads = 0 degenerates to one worker on the calling
+  // sharding"); a one-worker pool degenerates to serial on the calling
   // thread.
   std::vector<SetResult> per_set(k_sets);
-  const ThreadPool pool(std::max(1u, config.num_threads));
   const unsigned workers = pool.workers_for(k_sets);
   std::vector<std::unique_ptr<Def2Oracle>> oracles(workers);
   pool.for_each_index(k_sets, [&](std::size_t k, unsigned worker) {

@@ -24,7 +24,8 @@
 // set's state end to end across all nmax iterations and keeps a per-set
 // worklist of still-unsaturated target faults; per-set snapshots are merged
 // in k order after the pool joins.  Results are bit-identical at every
-// thread count, including 0 (serial on the calling thread).  Definition-2
+// thread count (num_threads = 1 is serial on the calling thread, 0 uses
+// every hardware thread -- the repository-wide convention).  Definition-2
 // candidate search scans all of T(f_i) - T_k when small, and otherwise
 // takes `def2_probe_limit` random probes (documented deviation; DESIGN.md
 // "Definition 2").  See DESIGN.md "Procedure-1 sharding" for the worklist
@@ -35,13 +36,15 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
-#include <thread>
+#include <string>
 #include <vector>
 
 #include "core/detection_db.hpp"
 #include "sim/ternary_sim.hpp"
 
 namespace ndet {
+
+class ThreadPool;
 
 /// Which of the paper's detection-counting definitions to use.
 enum class DetectionDefinition { kStandard = 1, kDissimilar = 2 };
@@ -55,9 +58,10 @@ struct Procedure1Config {
   bool keep_test_sets = false;  ///< record every test set (Table 4)
   std::size_t def2_probe_limit = 32;  ///< bounded candidate probing (Def. 2)
   /// Worker threads sharding the K sets; each worker owns whole set
-  /// trajectories.  0 runs serially on the calling thread; the default uses
-  /// every hardware thread.  The value never changes any result.
-  unsigned num_threads = std::thread::hardware_concurrency();
+  /// trajectories.  0 (the default) uses every hardware thread, matching
+  /// DetectionDbOptions/AnalysisOptions; 1 runs serially on the calling
+  /// thread.  The value never changes any result.
+  unsigned num_threads = 0;
 };
 
 /// Procedure-1 bookkeeping counters (reported by the perf bench).  All three
@@ -102,10 +106,21 @@ struct AverageCaseResult {
   std::size_t count_probability_at_least(int n, double threshold) const;
 };
 
+/// Serializes the result as a JSON object: the request parameters, the
+/// monitored indices, the exact d(n,g) counts and set sizes, and the stats.
+std::string to_json(const AverageCaseResult& result);
+
 /// Runs Procedure 1 and the average-case analysis over the monitored
 /// untargeted faults (typically those with nmin(g) > nmax, per Table 5).
 AverageCaseResult run_procedure1(const DetectionDb& db,
                                  std::span<const std::size_t> monitored,
                                  const Procedure1Config& config);
+
+/// Same, on a caller-owned worker pool (AnalysisSession shares one pool
+/// across every stage); config.num_threads is ignored.
+AverageCaseResult run_procedure1(const DetectionDb& db,
+                                 std::span<const std::size_t> monitored,
+                                 const Procedure1Config& config,
+                                 const ThreadPool& pool);
 
 }  // namespace ndet

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "util/check.hpp"
+#include "util/json.hpp"
 
 namespace ndet {
 
@@ -164,6 +165,71 @@ std::string describe_set_memory(const DetectionDb& db) {
      << sparse << " of " << total << " sets sparse; all-dense would be "
      << db.dense_memory_bytes() << " bytes)";
   return os.str();
+}
+
+std::string to_json(const Table2Row& row) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("circuit").value(row.circuit);
+  w.key("fault_count").value(static_cast<std::uint64_t>(row.fault_count));
+  w.key("fraction_at_most").begin_object();
+  for (std::size_t c = 0; c < kTable2Thresholds.size(); ++c)
+    w.key(std::to_string(kTable2Thresholds[c])).value(row.fraction[c]);
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+std::string to_json(const Table3Row& row) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("circuit").value(row.circuit);
+  w.key("fault_count").value(static_cast<std::uint64_t>(row.fault_count));
+  w.key("count_at_least").begin_object();
+  for (std::size_t c = 0; c < kTable3Thresholds.size(); ++c)
+    w.key(std::to_string(kTable3Thresholds[c]))
+        .value(static_cast<std::uint64_t>(row.count[c]));
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+std::string to_json(const ProbabilityRow& row) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("circuit").value(row.circuit);
+  w.key("fault_count").value(static_cast<std::uint64_t>(row.fault_count));
+  w.key("definition").value(row.definition);
+  w.key("count_probability_at_least").begin_object();
+  for (std::size_t c = 0; c < kProbabilityThresholds.size(); ++c)
+    w.key(format_fixed(kProbabilityThresholds[c], 1))
+        .value(static_cast<std::uint64_t>(row.at_least[c]));
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+namespace {
+
+template <typename Row>
+std::string rows_to_json(const std::vector<Row>& rows) {
+  JsonWriter w;
+  w.begin_array();
+  for (const Row& row : rows) w.raw(to_json(row));
+  w.end_array();
+  return w.str();
+}
+
+}  // namespace
+
+std::string to_json(const std::vector<Table2Row>& rows) {
+  return rows_to_json(rows);
+}
+std::string to_json(const std::vector<Table3Row>& rows) {
+  return rows_to_json(rows);
+}
+std::string to_json(const std::vector<ProbabilityRow>& rows) {
+  return rows_to_json(rows);
 }
 
 std::string render_figure2(

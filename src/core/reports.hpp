@@ -70,6 +70,15 @@ TextTable render_table5(const std::vector<ProbabilityRow>& rows);
 /// Table 6 pairs a Definition-1 row and a Definition-2 row per circuit.
 TextTable render_table6(const std::vector<ProbabilityRow>& rows);
 
+/// JSON forms of the row structs (one object per row, one array per table);
+/// the table harnesses surface them behind --json=<path>.
+std::string to_json(const Table2Row& row);
+std::string to_json(const Table3Row& row);
+std::string to_json(const ProbabilityRow& row);
+std::string to_json(const std::vector<Table2Row>& rows);
+std::string to_json(const std::vector<Table3Row>& rows);
+std::string to_json(const std::vector<ProbabilityRow>& rows);
+
 /// Figure 2 input: (nmin, fault count) pairs with nmin >= cutoff, ascending,
 /// excluding never-guaranteed faults.
 std::vector<std::pair<std::uint64_t, std::size_t>> figure2_histogram(

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "util/check.hpp"
+#include "util/json.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ndet {
@@ -42,6 +43,25 @@ std::uint64_t WorstCaseResult::max_finite_nmin() const {
   for (const std::uint64_t v : nmin)
     if (v != kNeverGuaranteed) best = std::max(best, v);
   return best;
+}
+
+std::string to_json(const WorstCaseResult& result) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("fault_count").value(static_cast<std::uint64_t>(result.nmin.size()));
+  w.key("never_guaranteed")
+      .value(static_cast<std::uint64_t>(result.count_at_least(kNeverGuaranteed)));
+  w.key("max_finite_nmin").value(result.max_finite_nmin());
+  w.key("nmin").begin_array();
+  for (const std::uint64_t v : result.nmin) {
+    if (v == kNeverGuaranteed)
+      w.null();
+    else
+      w.value(v);
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
 }
 
 std::uint64_t nmin_of(const DetectionSet& untargeted_set,
@@ -112,13 +132,18 @@ std::uint64_t pruned_nmin(const DetectionSet& tg,
 
 WorstCaseResult analyze_worst_case(const DetectionDb& db,
                                    const AnalysisOptions& options) {
+  const ThreadPool pool(options.num_threads);
+  return analyze_worst_case(db, pool);
+}
+
+WorstCaseResult analyze_worst_case(const DetectionDb& db,
+                                   const ThreadPool& pool) {
   WorstCaseResult result;
   const std::span<const DetectionSet> target_sets = db.target_sets();
   const std::vector<DetectionSet>& untargeted = db.untargeted_sets();
   result.nmin.assign(untargeted.size(), kNeverGuaranteed);
 
   const SortedTargets sorted = sort_targets_by_count(target_sets);
-  const ThreadPool pool(options.num_threads);
   pool.for_each_index(untargeted.size(), [&](std::size_t j, unsigned) {
     result.nmin[j] = pruned_nmin(untargeted[j], target_sets, sorted);
   });

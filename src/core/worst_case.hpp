@@ -25,11 +25,14 @@
 #include <cstdint>
 #include <map>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/detection_db.hpp"
 
 namespace ndet {
+
+class ThreadPool;
 
 /// Sentinel nmin for faults no n-detection test set is guaranteed to detect.
 constexpr std::uint64_t kNeverGuaranteed = ~std::uint64_t{0};
@@ -56,6 +59,10 @@ struct WorstCaseResult {
   std::uint64_t max_finite_nmin() const;
 };
 
+/// Serializes the result as a JSON object: the nmin vector (null for
+/// never-guaranteed faults) plus the summary counters.
+std::string to_json(const WorstCaseResult& result);
+
 /// nmin against a specific target-fault family: min over overlapping f of
 /// N(f) - M(g,f) + 1.  The reference (unpruned, serial) kernel; the
 /// equivalence tests hold analyze_worst_case's pruned sweep to it.
@@ -72,6 +79,11 @@ struct AnalysisOptions {
 /// unpruned nmin_of sweep at every thread count.
 WorstCaseResult analyze_worst_case(const DetectionDb& db,
                                    const AnalysisOptions& options = {});
+
+/// Same, on a caller-owned worker pool (AnalysisSession shares one pool
+/// across every stage).
+WorstCaseResult analyze_worst_case(const DetectionDb& db,
+                                   const ThreadPool& pool);
 
 /// Table-1-style drill-down for one untargeted fault: every target fault
 /// with overlapping tests, with N(f), M(g,f) and nmin(g,f).

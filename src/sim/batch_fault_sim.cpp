@@ -20,6 +20,14 @@ BatchFaultSimulator::BatchFaultSimulator(const ExhaustiveSimulator& good,
   build_cones();
 }
 
+BatchFaultSimulator::BatchFaultSimulator(const ExhaustiveSimulator& good,
+                                         const LineModel& lines,
+                                         const ThreadPool& pool)
+    : BatchFaultSimulator(good, lines,
+                          BatchFaultSimOptions{pool.thread_count()}) {
+  shared_pool_ = &pool;
+}
+
 void BatchFaultSimulator::build_cones() {
   const Circuit& circuit = good_->circuit();
   const std::size_t gate_count = circuit.gate_count();
@@ -215,7 +223,8 @@ std::vector<Bitset> BatchFaultSimulator::run_batch(
   std::vector<Bitset> sets(faults.size());
   if (faults.empty()) return sets;
 
-  const ThreadPool pool(num_threads_);
+  const ThreadPool local(num_threads_);
+  const ThreadPool& pool = shared_pool_ ? *shared_pool_ : local;
   // One scratch arena per worker, reused across all its faults -- zero
   // allocations in steady state.
   std::vector<Scratch> scratch(pool.workers_for(faults.size()));

@@ -44,6 +44,8 @@
 
 namespace ndet {
 
+class ThreadPool;
+
 /// Options controlling the batched engine.
 struct BatchFaultSimOptions {
   /// Worker threads for batch calls; 0 picks std::thread::hardware_concurrency.
@@ -55,6 +57,12 @@ class BatchFaultSimulator {
  public:
   BatchFaultSimulator(const ExhaustiveSimulator& good, const LineModel& lines,
                       BatchFaultSimOptions options = {});
+
+  /// Runs batch calls on a caller-owned pool instead of a private one (the
+  /// session facade shares one pool across every stage).  The pool must
+  /// outlive the simulator.
+  BatchFaultSimulator(const ExhaustiveSimulator& good, const LineModel& lines,
+                      const ThreadPool& pool);
 
   /// T(f) for every fault, index-aligned with the input span.  Fans out
   /// across the worker pool.
@@ -108,6 +116,7 @@ class BatchFaultSimulator {
 
   const ExhaustiveSimulator* good_;
   const LineModel* lines_;
+  const ThreadPool* shared_pool_ = nullptr;  ///< non-owning; may be null
   unsigned num_threads_ = 1;
 
   // CSR cone storage, indexed by root gate id.

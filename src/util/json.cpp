@@ -1,0 +1,144 @@
+#include "util/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "util/check.hpp"
+
+namespace ndet {
+
+void JsonWriter::begin_value() {
+  if (needs_comma_.empty()) return;
+  // A pending key (out_ ends in ':') already separated itself.
+  if (!out_.empty() && out_.back() == ':') return;
+  if (needs_comma_.back()) out_ += ',';
+  needs_comma_.back() = true;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  begin_value();
+  out_ += '{';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  require(!needs_comma_.empty(), "JsonWriter: end_object without begin");
+  needs_comma_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  begin_value();
+  out_ += '[';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  require(!needs_comma_.empty(), "JsonWriter: end_array without begin");
+  needs_comma_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  begin_value();
+  append_escaped(out_, name);
+  out_ += ':';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  begin_value();
+  append_escaped(out_, text);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  if (!std::isfinite(number)) return null();
+  begin_value();
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, number);
+  require(ec == std::errc{}, "JsonWriter: double formatting failed");
+  out_.append(buf, end);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+  begin_value();
+  out_ += std::to_string(number);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  begin_value();
+  out_ += std::to_string(number);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  begin_value();
+  out_ += flag ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  begin_value();
+  out_ += "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(std::string_view json) {
+  require(!json.empty(), "JsonWriter: raw value must not be empty");
+  begin_value();
+  out_ += json;
+  return *this;
+}
+
+const std::string& JsonWriter::str() const {
+  require(needs_comma_.empty(), "JsonWriter: unbalanced begin/end calls");
+  return out_;
+}
+
+void write_json_file(const std::string& path, std::string_view json) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  require(out.good(), "write_json_file: cannot open '" + path + "'");
+  out << json << '\n';
+  out.flush();
+  require(out.good(), "write_json_file: write to '" + path + "' failed");
+}
+
+}  // namespace ndet

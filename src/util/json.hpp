@@ -1,0 +1,61 @@
+// json.hpp -- a small hand-rolled JSON writer.
+//
+// The serving layer exports analysis results as JSON (--json= on the report
+// CLIs, the batch driver's machine-readable rows) without taking a
+// dependency: JsonWriter is a push-style builder that tracks the container
+// stack, inserts commas, escapes strings, and formats doubles with
+// round-trip precision.  Output is compact (no whitespace) and valid JSON
+// by construction as long as begin/end calls are balanced -- str() checks
+// that balance.  Non-finite doubles have no JSON spelling and are emitted
+// as null.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ndet {
+
+/// Push-style builder for one JSON document.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits an object key; the next value/begin call supplies its value.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+  JsonWriter& value(double number);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(int number) { return value(static_cast<std::int64_t>(number)); }
+  JsonWriter& value(unsigned number) {
+    return value(static_cast<std::uint64_t>(number));
+  }
+  JsonWriter& value(bool flag);
+  JsonWriter& null();
+
+  /// Splices a prebuilt JSON value (e.g. another to_json result) in place.
+  JsonWriter& raw(std::string_view json);
+
+  /// The finished document; throws contract_error if containers are open.
+  const std::string& str() const;
+
+ private:
+  void begin_value();
+
+  std::string out_;
+  std::vector<bool> needs_comma_;  ///< one flag per open container
+};
+
+/// Writes `json` to `path` with a trailing newline; throws contract_error on
+/// I/O failure.
+void write_json_file(const std::string& path, std::string_view json);
+
+}  // namespace ndet

@@ -285,15 +285,16 @@ void expect_identical_runs(const AverageCaseResult& a,
   EXPECT_EQ(a.stats.distinct_queries, b.stats.distinct_queries);
 }
 
-/// Runs the serial engine (num_threads = 0) and compares 1/2/8-thread runs
-/// against it bit for bit.
+/// Runs the serial engine (num_threads = 1: one worker on the calling
+/// thread) and compares hardware-width (0) and 2/8-thread runs against it
+/// bit for bit.
 void check_thread_invariance(const DetectionDb& db,
                              std::span<const std::size_t> monitored,
                              Procedure1Config config) {
   config.keep_test_sets = true;
-  config.num_threads = 0;
+  config.num_threads = 1;
   const AverageCaseResult serial = run_procedure1(db, monitored, config);
-  for (const unsigned threads : {1u, 2u, 8u}) {
+  for (const unsigned threads : {0u, 2u, 8u}) {
     config.num_threads = threads;
     const AverageCaseResult parallel = run_procedure1(db, monitored, config);
     SCOPED_TRACE("threads=" + std::to_string(threads));
