@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include <numeric>
+#include <string>
 
 #include "atpg/ndetect.hpp"
 #include "atpg/podem.hpp"
@@ -22,6 +23,7 @@
 #include "sim/exhaustive.hpp"
 #include "sim/fault_sim.hpp"
 #include "sim/ternary_sim.hpp"
+#include "util/simd.hpp"
 
 namespace {
 
@@ -189,10 +191,11 @@ void BM_WorstCaseReference(benchmark::State& state) {
 }
 BENCHMARK(BM_WorstCaseReference);
 
-// The production sweep: N(f)-sorted prune over the adaptive database,
-// sharded across the worker pool (argument = thread count, 0 = all
-// hardware threads).  db_bytes vs dense_bytes exposes the representation
-// win on this circuit.
+// The production sweep: the tiled pair-kernel engine with the N(f)-sorted
+// tile prune over the adaptive database, batches sharded across the worker
+// pool (argument = thread count, 0 = all hardware threads).  The label is
+// the SIMD dispatch level the engine ran at; db_bytes vs dense_bytes
+// exposes the representation win on this circuit.
 void BM_WorstCasePruned(benchmark::State& state) {
   const DetectionDb& db = bench_db();
   AnalysisOptions options;
@@ -201,6 +204,7 @@ void BM_WorstCasePruned(benchmark::State& state) {
     const WorstCaseResult worst = analyze_worst_case(db, options);
     benchmark::DoNotOptimize(worst.nmin.size());
   }
+  state.SetLabel(simd::level_name(simd::active_level()));
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(db.untargeted().size()));
   state.counters["db_bytes"] = static_cast<double>(db.set_memory_bytes());
@@ -208,6 +212,30 @@ void BM_WorstCasePruned(benchmark::State& state) {
       static_cast<double>(db.dense_memory_bytes());
 }
 BENCHMARK(BM_WorstCasePruned)->Arg(1)->Arg(0);
+
+// The same sweep on the paper's heavy Table 3 circuits (2^13-vector
+// universes, tens of thousands of bridging faults, nmin tails above 100):
+// the workload the tiled engine targets.  Arguments are {circuit, threads}
+// with circuit 0 = dvram, 1 = s1a (the largest machine of the suite).
+void BM_WorstCasePrunedLarge(benchmark::State& state) {
+  static const DetectionDb dbs[2] = {
+      DetectionDb::build(fsm_benchmark_circuit("dvram")),
+      DetectionDb::build(fsm_benchmark_circuit("s1a")),
+  };
+  const DetectionDb& db = dbs[state.range(0)];
+  AnalysisOptions options;
+  options.num_threads = static_cast<unsigned>(state.range(1));
+  for (auto _ : state) {
+    const WorstCaseResult worst = analyze_worst_case(db, options);
+    benchmark::DoNotOptimize(worst.nmin.size());
+  }
+  state.SetLabel(std::string(state.range(0) == 0 ? "dvram" : "s1a") + "/" +
+                 simd::level_name(simd::active_level()));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(db.untargeted().size()));
+  state.counters["db_bytes"] = static_cast<double>(db.set_memory_bytes());
+}
+BENCHMARK(BM_WorstCasePrunedLarge)->Args({0, 1})->Args({1, 1})->Args({1, 0});
 
 // Section 4 end to end: partition a multi-block circuit into per-cone
 // subcircuits and run the full build + worst-case analysis on every cone,

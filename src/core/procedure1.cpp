@@ -111,6 +111,14 @@ struct SetResult {
 /// Dropped faults consume no RNG in the classic sweep either, so the prune
 /// is invisible to everything except the Definition-2 refresh scans it
 /// skips (see DESIGN.md "Procedure-1 sharding").
+///
+/// The and_not_count saturation checks below are the procedure's pairwise
+/// hot kernel; they run on the runtime-dispatched simd popcount layer
+/// through DetectionSet/Bitset.  Cross-fault batching (the tiled engine's
+/// trick) is deliberately NOT applied here: T_k mutates mid-sweep whenever
+/// a test is added, so each check must see the membership state at its own
+/// visit or the RNG draws -- and therefore the trajectories -- would change
+/// (see DESIGN.md "Tiled pairwise kernels").
 SetResult run_set_trajectory(const TrajectoryInputs& in, Rng rng,
                              Def2Oracle* oracle) {
   SetResult out;

@@ -1,8 +1,8 @@
 #include "core/worst_case.hpp"
 
 #include <algorithm>
-#include <numeric>
 
+#include "core/pair_kernels.hpp"
 #include "util/check.hpp"
 #include "util/json.hpp"
 #include "util/thread_pool.hpp"
@@ -77,59 +77,6 @@ std::uint64_t nmin_of(const DetectionSet& untargeted_set,
   return best;
 }
 
-namespace {
-
-/// Detectable targets sorted ascending by N(f), shared read-only across the
-/// worker pool.  The order makes the per-g prune sound: once the lower
-/// bound N(f) - |T(g)| + 1 reaches the running best, every later target's
-/// bound is at least as large.
-struct SortedTargets {
-  std::vector<std::uint32_t> index;  ///< into DetectionDb::targets()
-  std::vector<std::uint32_t> n_f;    ///< N(f), aligned with `index`
-};
-
-SortedTargets sort_targets_by_count(std::span<const DetectionSet> target_sets) {
-  SortedTargets sorted;
-  std::vector<std::uint32_t> order(target_sets.size());
-  std::iota(order.begin(), order.end(), 0u);
-  std::stable_sort(order.begin(), order.end(),
-                   [&](std::uint32_t a, std::uint32_t b) {
-                     return target_sets[a].count() < target_sets[b].count();
-                   });
-  sorted.index.reserve(order.size());
-  sorted.n_f.reserve(order.size());
-  for (const std::uint32_t i : order) {
-    const std::size_t n = target_sets[i].count();
-    if (n == 0) continue;  // undetectable target: inert in every analysis
-    sorted.index.push_back(i);
-    sorted.n_f.push_back(static_cast<std::uint32_t>(n));
-  }
-  return sorted;
-}
-
-/// The pruned nmin sweep.  Identical result to nmin_of: the minimum is
-/// order-independent and the stopping bound only skips targets whose
-/// candidate provably cannot beat the current best.
-std::uint64_t pruned_nmin(const DetectionSet& tg,
-                          std::span<const DetectionSet> target_sets,
-                          const SortedTargets& sorted) {
-  const std::size_t size_g = tg.count();
-  std::uint64_t best = kNeverGuaranteed;
-  for (std::size_t k = 0; k < sorted.index.size(); ++k) {
-    const std::size_t n_f = sorted.n_f[k];
-    // M(g,f) <= min(N(f), |T(g)|), so nmin(g,f) >= N(f) - |T(g)| + 1.
-    const std::uint64_t bound = n_f >= size_g ? n_f - size_g + 1 : 1;
-    if (bound >= best) break;
-    const std::size_t m = target_sets[sorted.index[k]].intersect_count(tg);
-    if (m == 0) continue;
-    const std::uint64_t candidate = n_f - m + 1;
-    best = std::min(best, candidate);
-  }
-  return best;
-}
-
-}  // namespace
-
 WorstCaseResult analyze_worst_case(const DetectionDb& db,
                                    const AnalysisOptions& options) {
   const ThreadPool pool(options.num_threads);
@@ -139,29 +86,54 @@ WorstCaseResult analyze_worst_case(const DetectionDb& db,
 WorstCaseResult analyze_worst_case(const DetectionDb& db,
                                    const ThreadPool& pool) {
   WorstCaseResult result;
-  const std::span<const DetectionSet> target_sets = db.target_sets();
   const std::vector<DetectionSet>& untargeted = db.untargeted_sets();
   result.nmin.assign(untargeted.size(), kNeverGuaranteed);
+  if (untargeted.empty()) return result;
 
-  const SortedTargets sorted = sort_targets_by_count(target_sets);
-  pool.for_each_index(untargeted.size(), [&](std::size_t j, unsigned) {
-    result.nmin[j] = pruned_nmin(untargeted[j], target_sets, sorted);
+  // Pack the targets once (N(f)-ascending tiles), then serve the untargeted
+  // faults in engine-width batches: each batch streams every needed tile
+  // once for all its members, and writes only its own nmin slots, so the
+  // shard is deterministic at every thread count.
+  const PairKernelEngine engine(db.target_sets(),
+                                static_cast<std::size_t>(db.vector_count()));
+  constexpr std::size_t kWidth = PairKernelEngine::kBatchWidth;
+  const std::size_t batches = (untargeted.size() + kWidth - 1) / kWidth;
+  std::vector<PairKernelEngine::Scratch> scratch(pool.workers_for(batches));
+  pool.for_each_index(batches, [&](std::size_t batch, unsigned worker) {
+    const std::size_t begin = batch * kWidth;
+    const std::size_t size = std::min(kWidth, untargeted.size() - begin);
+    engine.nmin_batch(std::span<const DetectionSet>(untargeted)
+                          .subspan(begin, size),
+                      std::span<std::uint64_t>(result.nmin)
+                          .subspan(begin, size),
+                      scratch[worker]);
   });
   return result;
 }
 
 std::vector<OverlapEntry> overlap_entries(const DetectionDb& db,
-                                          std::size_t untargeted_index) {
+                                          std::size_t untargeted_index,
+                                          const AnalysisOptions& options) {
+  const ThreadPool pool(options.num_threads);
+  return overlap_entries(db, untargeted_index, pool);
+}
+
+std::vector<OverlapEntry> overlap_entries(const DetectionDb& db,
+                                          std::size_t untargeted_index,
+                                          const ThreadPool& pool) {
   require(untargeted_index < db.untargeted().size(),
           "overlap_entries: untargeted fault index out of range");
   const DetectionSet& tg = db.untargeted_sets()[untargeted_index];
+  const std::span<const DetectionSet> target_sets = db.target_sets();
+  const PairKernelEngine engine(target_sets,
+                                static_cast<std::size_t>(db.vector_count()));
+  std::vector<std::uint32_t> m(target_sets.size());
+  engine.intersect_counts(tg, m, pool);
   std::vector<OverlapEntry> entries;
-  for (std::size_t i = 0; i < db.targets().size(); ++i) {
-    const DetectionSet& tf = db.target_sets()[i];
-    const std::size_t m = tf.intersect_count(tg);
-    if (m == 0) continue;
-    const std::size_t n_f = tf.count();
-    entries.push_back({i, n_f, m, n_f - m + 1});
+  for (std::size_t i = 0; i < target_sets.size(); ++i) {
+    if (m[i] == 0) continue;
+    const std::size_t n_f = target_sets[i].count();
+    entries.push_back({i, n_f, m[i], n_f - m[i] + 1});
   }
   return entries;
 }

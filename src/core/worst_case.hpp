@@ -12,12 +12,15 @@
 // When no target fault's tests overlap T(g), no value of n ever guarantees
 // detection; nmin(g) = kNeverGuaranteed.
 //
-// analyze_worst_case shards the per-g sweeps across a ThreadPool (each g is
-// independent and writes only its own slot, so results are bit-identical at
-// every thread count) and prunes each sweep algebraically: with targets
-// visited in ascending N(f) order, M(g,f) <= |T(g)| bounds every candidate
-// below by N(f) - |T(g)| + 1, so the scan stops as soon as that bound
-// reaches the best candidate found -- no later target can improve it.
+// analyze_worst_case runs on the tiled pair-kernel engine
+// (core/pair_kernels.hpp): targets are packed once into N(f)-ascending
+// cache-resident tiles and batches of untargeted faults shard across a
+// ThreadPool (each batch writes only its own slots, so results are
+// bit-identical at every thread count).  The algebraic prune survives
+// tiling: M(g,f) <= |T(g)| bounds every candidate below by
+// N(f) - |T(g)| + 1, so a fault leaves the sweep as soon as the next
+// tile's smallest N(f) pushes that bound to its best candidate -- no
+// later target can improve it.
 
 #pragma once
 
@@ -45,11 +48,16 @@ struct WorstCaseResult {
   /// Fraction of G with nmin(g) <= n (a Table 2 cell).
   double fraction_at_most(std::uint64_t n) const;
 
-  /// Number of faults with nmin(g) >= n (a Table 3 cell);
-  /// kNeverGuaranteed counts as >= any n.
+  /// Number of faults with nmin(g) >= n (a Table 3 cell).  Contract:
+  /// kNeverGuaranteed entries (nmin(g) = ~0) compare >= every n and are
+  /// INCLUDED -- a fault no n guarantees is, a fortiori, not guaranteed by
+  /// n detections, so the Table 3 tail counts it at every threshold.
   std::size_t count_at_least(std::uint64_t n) const;
 
   /// Indices of faults with nmin(g) >= n (monitored set for Tables 5/6).
+  /// Same contract as count_at_least: kNeverGuaranteed entries are
+  /// included at every threshold, so the monitored tail always contains
+  /// the never-guaranteed faults.
   std::vector<std::size_t> indices_at_least(std::uint64_t n) const;
 
   /// Histogram nmin value -> number of faults (Figure 2 input).
@@ -74,9 +82,11 @@ struct AnalysisOptions {
   unsigned num_threads = 0;  ///< analysis workers; 0 = all hardware threads
 };
 
-/// Runs the worst-case analysis for every fault in G, sharded across the
-/// worker pool with the N(f)-sorted prune.  Bit-identical to the serial
-/// unpruned nmin_of sweep at every thread count.
+/// Runs the worst-case analysis for every fault in G on the tiled
+/// pair-kernel engine: batches of untargeted faults shard across the worker
+/// pool and the N(f)-sorted prune fires tile by tile.  Bit-identical to the
+/// serial unpruned nmin_of sweep at every thread count, representation
+/// policy and SIMD dispatch level.
 WorstCaseResult analyze_worst_case(const DetectionDb& db,
                                    const AnalysisOptions& options = {});
 
@@ -93,7 +103,19 @@ struct OverlapEntry {
   std::size_t m_gf;          ///< M(g,f) = |T(f) n T(g)|
   std::uint64_t nmin_gf;     ///< N - M + 1
 };
+/// Note: each call packs a fresh pair-kernel engine over the target family
+/// (cost comparable to one unpruned scan) -- fine for the few-shot CLI
+/// drill-downs this serves; tight loops over many faults should use
+/// analyze_worst_case or drive PairKernelEngine::intersect_counts
+/// directly on one engine.
 std::vector<OverlapEntry> overlap_entries(const DetectionDb& db,
-                                          std::size_t untargeted_index);
+                                          std::size_t untargeted_index,
+                                          const AnalysisOptions& options = {});
+
+/// Same, on a caller-owned worker pool (consistent with the other stages):
+/// the engine's tiles shard across the pool.
+std::vector<OverlapEntry> overlap_entries(const DetectionDb& db,
+                                          std::size_t untargeted_index,
+                                          const ThreadPool& pool);
 
 }  // namespace ndet

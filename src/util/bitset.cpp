@@ -3,12 +3,12 @@
 #include <algorithm>
 #include <bit>
 
+#include "util/simd.hpp"
+
 namespace ndet {
 
 std::size_t Bitset::count() const {
-  std::size_t total = 0;
-  for (const word_type w : words_) total += static_cast<std::size_t>(std::popcount(w));
-  return total;
+  return simd::popcount_words(words_.data(), words_.size());
 }
 
 bool Bitset::none() const {
@@ -36,10 +36,7 @@ Bitset& Bitset::and_not(const Bitset& other) {
 
 std::size_t Bitset::intersect_count(const Bitset& other) const {
   require_same_size(other, "intersect_count");
-  std::size_t total = 0;
-  for (std::size_t i = 0; i < words_.size(); ++i)
-    total += static_cast<std::size_t>(std::popcount(words_[i] & other.words_[i]));
-  return total;
+  return simd::and_popcount(words_.data(), other.words_.data(), words_.size());
 }
 
 bool Bitset::intersects(const Bitset& other) const {
@@ -51,10 +48,8 @@ bool Bitset::intersects(const Bitset& other) const {
 
 std::size_t Bitset::and_not_count(const Bitset& other) const {
   require_same_size(other, "and_not_count");
-  std::size_t total = 0;
-  for (std::size_t i = 0; i < words_.size(); ++i)
-    total += static_cast<std::size_t>(std::popcount(words_[i] & ~other.words_[i]));
-  return total;
+  return simd::andnot_popcount(words_.data(), other.words_.data(),
+                               words_.size());
 }
 
 namespace {

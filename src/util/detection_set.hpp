@@ -29,6 +29,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "util/bitset.hpp"
@@ -79,6 +80,21 @@ class DetectionSet {
 
   /// Membership test.
   bool test(std::size_t i) const;
+
+  // --- raw payload access (the tiled pair-kernel engine packs from these) --
+
+  /// Direct word access to the dense payload; representation() must be
+  /// kDense (checked).
+  const Bitset::word_type* dense_words() const {
+    require(rep_ == Rep::kDense, "DetectionSet::dense_words: set is sparse");
+    return dense_.words();
+  }
+
+  /// The sorted element list; representation() must be kSparse (checked).
+  std::span<const std::uint32_t> sparse_elements() const {
+    require(rep_ == Rep::kSparse, "DetectionSet::sparse_elements: set is dense");
+    return sparse_;
+  }
 
   /// True when this and `other` share at least one element (early exit).
   bool intersects(const DetectionSet& other) const;

@@ -1,0 +1,266 @@
+#include "util/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+// The AVX2 path is compiled whenever the target is x86 with a GCC-compatible
+// compiler and was not configured out with -DNDET_DISABLE_AVX2=ON.  The
+// functions carry per-function target attributes, so the translation unit
+// itself still builds with the baseline architecture flags and the vector
+// code can only be reached through the runtime-checked dispatch table.
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__)) && !defined(NDET_DISABLE_AVX2)
+#define NDET_SIMD_COMPILED_AVX2 1
+#include <immintrin.h>
+#else
+#define NDET_SIMD_COMPILED_AVX2 0
+#endif
+
+namespace ndet::simd {
+
+namespace {
+
+// --- portable kernels -------------------------------------------------------
+
+std::size_t portable_popcount(const word* a, std::size_t n) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    total += static_cast<std::size_t>(std::popcount(a[i]));
+  return total;
+}
+
+std::size_t portable_and_popcount(const word* a, const word* b,
+                                  std::size_t n) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    total += static_cast<std::size_t>(std::popcount(a[i] & b[i]));
+  return total;
+}
+
+std::size_t portable_andnot_popcount(const word* a, const word* b,
+                                     std::size_t n) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    total += static_cast<std::size_t>(std::popcount(a[i] & ~b[i]));
+  return total;
+}
+
+void portable_and_popcount_x4(const word* t, const word* const* g,
+                              std::size_t n, std::uint32_t* out) {
+  word c0 = 0, c1 = 0, c2 = 0, c3 = 0;
+  const word* g0 = g[0];
+  const word* g1 = g[1];
+  const word* g2 = g[2];
+  const word* g3 = g[3];
+  for (std::size_t i = 0; i < n; ++i) {
+    const word tw = t[i];
+    c0 += static_cast<word>(std::popcount(tw & g0[i]));
+    c1 += static_cast<word>(std::popcount(tw & g1[i]));
+    c2 += static_cast<word>(std::popcount(tw & g2[i]));
+    c3 += static_cast<word>(std::popcount(tw & g3[i]));
+  }
+  out[0] = static_cast<std::uint32_t>(c0);
+  out[1] = static_cast<std::uint32_t>(c1);
+  out[2] = static_cast<std::uint32_t>(c2);
+  out[3] = static_cast<std::uint32_t>(c3);
+}
+
+constexpr Kernels kPortableKernels = {
+    portable_popcount,
+    portable_and_popcount,
+    portable_andnot_popcount,
+    portable_and_popcount_x4,
+};
+
+// --- AVX2 kernels -----------------------------------------------------------
+
+#if NDET_SIMD_COMPILED_AVX2
+
+/// Per-64-bit-lane popcount of a 256-bit vector via Mula's vpshufb nibble
+/// lookup: each byte is split into nibbles, both looked up in a 16-entry
+/// bit-count table, and the byte sums are folded into the four lanes with a
+/// single psadbw against zero.
+__attribute__((target("avx2"))) inline __m256i popcount_epi64(__m256i v) {
+  const __m256i lut = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+  const __m256i counts = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                         _mm256_shuffle_epi8(lut, hi));
+  return _mm256_sad_epu8(counts, _mm256_setzero_si256());
+}
+
+__attribute__((target("avx2"))) inline std::size_t horizontal_sum(__m256i v) {
+  const __m128i lo = _mm256_castsi256_si128(v);
+  const __m128i hi = _mm256_extracti128_si256(v, 1);
+  const __m128i sum = _mm_add_epi64(lo, hi);
+  return static_cast<std::size_t>(_mm_cvtsi128_si64(sum)) +
+         static_cast<std::size_t>(
+             _mm_cvtsi128_si64(_mm_unpackhi_epi64(sum, sum)));
+}
+
+__attribute__((target("avx2,popcnt"))) std::size_t avx2_popcount(
+    const word* a, std::size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    acc = _mm256_add_epi64(acc, popcount_epi64(va));
+  }
+  std::size_t total = horizontal_sum(acc);
+  for (; i < n; ++i)
+    total += static_cast<std::size_t>(std::popcount(a[i]));
+  return total;
+}
+
+__attribute__((target("avx2,popcnt"))) std::size_t avx2_and_popcount(
+    const word* a, const word* b, std::size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    acc = _mm256_add_epi64(acc, popcount_epi64(_mm256_and_si256(va, vb)));
+  }
+  std::size_t total = horizontal_sum(acc);
+  for (; i < n; ++i)
+    total += static_cast<std::size_t>(std::popcount(a[i] & b[i]));
+  return total;
+}
+
+__attribute__((target("avx2,popcnt"))) std::size_t avx2_andnot_popcount(
+    const word* a, const word* b, std::size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    // vpandn computes ~first & second, so b goes first.
+    acc = _mm256_add_epi64(acc, popcount_epi64(_mm256_andnot_si256(vb, va)));
+  }
+  std::size_t total = horizontal_sum(acc);
+  for (; i < n; ++i)
+    total += static_cast<std::size_t>(std::popcount(a[i] & ~b[i]));
+  return total;
+}
+
+__attribute__((target("avx2,popcnt"))) void avx2_and_popcount_x4(
+    const word* t, const word* const* g, std::size_t n, std::uint32_t* out) {
+  __m256i a0 = _mm256_setzero_si256();
+  __m256i a1 = _mm256_setzero_si256();
+  __m256i a2 = _mm256_setzero_si256();
+  __m256i a3 = _mm256_setzero_si256();
+  const word* g0 = g[0];
+  const word* g1 = g[1];
+  const word* g2 = g[2];
+  const word* g3 = g[3];
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i vt =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(t + i));
+    a0 = _mm256_add_epi64(
+        a0, popcount_epi64(_mm256_and_si256(
+                vt, _mm256_loadu_si256(
+                        reinterpret_cast<const __m256i*>(g0 + i)))));
+    a1 = _mm256_add_epi64(
+        a1, popcount_epi64(_mm256_and_si256(
+                vt, _mm256_loadu_si256(
+                        reinterpret_cast<const __m256i*>(g1 + i)))));
+    a2 = _mm256_add_epi64(
+        a2, popcount_epi64(_mm256_and_si256(
+                vt, _mm256_loadu_si256(
+                        reinterpret_cast<const __m256i*>(g2 + i)))));
+    a3 = _mm256_add_epi64(
+        a3, popcount_epi64(_mm256_and_si256(
+                vt, _mm256_loadu_si256(
+                        reinterpret_cast<const __m256i*>(g3 + i)))));
+  }
+  std::size_t c0 = horizontal_sum(a0);
+  std::size_t c1 = horizontal_sum(a1);
+  std::size_t c2 = horizontal_sum(a2);
+  std::size_t c3 = horizontal_sum(a3);
+  for (; i < n; ++i) {
+    const word tw = t[i];
+    c0 += static_cast<std::size_t>(std::popcount(tw & g0[i]));
+    c1 += static_cast<std::size_t>(std::popcount(tw & g1[i]));
+    c2 += static_cast<std::size_t>(std::popcount(tw & g2[i]));
+    c3 += static_cast<std::size_t>(std::popcount(tw & g3[i]));
+  }
+  out[0] = static_cast<std::uint32_t>(c0);
+  out[1] = static_cast<std::uint32_t>(c1);
+  out[2] = static_cast<std::uint32_t>(c2);
+  out[3] = static_cast<std::uint32_t>(c3);
+}
+
+constexpr Kernels kAvx2Kernels = {
+    avx2_popcount,
+    avx2_and_popcount,
+    avx2_andnot_popcount,
+    avx2_and_popcount_x4,
+};
+
+#endif  // NDET_SIMD_COMPILED_AVX2
+
+bool cpu_has_avx2() {
+#if NDET_SIMD_COMPILED_AVX2
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+std::atomic<Level>& level_state() {
+  static std::atomic<Level> level{
+      resolve_level(std::getenv("NDET_FORCE_PORTABLE"), cpu_has_avx2())};
+  return level;
+}
+
+}  // namespace
+
+const char* level_name(Level level) {
+  return level == Level::kAvx2 ? "avx2" : "portable";
+}
+
+bool compiled_with_avx2() { return NDET_SIMD_COMPILED_AVX2 != 0; }
+
+Level resolve_level(const char* force_portable_env, bool cpu_avx2) {
+  const bool forced =
+      force_portable_env != nullptr && force_portable_env[0] != '\0' &&
+      !(force_portable_env[0] == '0' && force_portable_env[1] == '\0');
+  if (forced) return Level::kPortable;
+  if (compiled_with_avx2() && cpu_avx2) return Level::kAvx2;
+  return Level::kPortable;
+}
+
+bool level_available(Level level) {
+  if (level == Level::kPortable) return true;
+  return resolve_level(std::getenv("NDET_FORCE_PORTABLE"), cpu_has_avx2()) ==
+         Level::kAvx2;
+}
+
+Level active_level() { return level_state().load(std::memory_order_relaxed); }
+
+void set_level_for_testing(Level level) {
+  require(level_available(level),
+          "simd::set_level_for_testing: requested level is not available on "
+          "this build/CPU (or NDET_FORCE_PORTABLE is set)");
+  level_state().store(level, std::memory_order_relaxed);
+}
+
+const Kernels& active_kernels() {
+#if NDET_SIMD_COMPILED_AVX2
+  if (active_level() == Level::kAvx2) return kAvx2Kernels;
+#endif
+  return kPortableKernels;
+}
+
+}  // namespace ndet::simd

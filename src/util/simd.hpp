@@ -1,0 +1,121 @@
+// simd.hpp -- runtime-dispatched word-level popcount kernels.
+//
+// Every pairwise set kernel in the repository bottoms out in the same three
+// word loops: popcount(a), popcount(a & b) and popcount(a & ~b) over 64-bit
+// word arrays.  This header centralizes them behind one dispatch table so
+// the whole analysis stack (Bitset, DetectionSet, the tiled pair-kernel
+// engine) shares a single implementation choice:
+//
+//   * kPortable -- plain std::popcount loops, the baseline on every
+//     architecture, and
+//   * kAvx2     -- 256-bit AND + nibble-LUT popcount (Mula's vpshufb
+//     algorithm), selected once at startup when the CPU supports AVX2.
+//
+// The level is resolved exactly once: the NDET_FORCE_PORTABLE environment
+// variable (any non-empty value other than "0"; empty counts as unset) pins
+// the portable path for testing and sanitizer runs, and building with
+// -DNDET_DISABLE_AVX2=ON compiles the vector path out entirely.  All kernels compute exact population counts,
+// so results are bit-identical across levels by construction; the
+// randomized suite in tests/pair_kernels_test.cpp pins that.
+//
+// Callers with tiny operands (a handful of words, e.g. small-universe
+// circuits) should use the inline wrappers below: under kInlineWordLimit
+// words the portable loop is inlined at the call site, because the indirect
+// call costs more than vectorization can recover.  The batched engine in
+// core/pair_kernels.hpp instead grabs active_kernels() once per sweep and
+// calls through the table, amortizing the dispatch over whole tiles.
+
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace ndet::simd {
+
+using word = std::uint64_t;
+
+/// Dispatch level of the word kernels.
+enum class Level : std::uint8_t {
+  kPortable = 0,  ///< std::popcount loops; always available
+  kAvx2 = 1,      ///< 256-bit AND + vpshufb nibble-LUT popcount
+};
+
+/// Human-readable level name ("portable" / "avx2") for logs and benchmarks.
+const char* level_name(Level level);
+
+/// True when the AVX2 path was compiled in (x86, not NDET_DISABLE_AVX2).
+bool compiled_with_avx2();
+
+/// True when `level` can actually run here: compiled in, supported by this
+/// CPU, and not overridden away by NDET_FORCE_PORTABLE.
+bool level_available(Level level);
+
+/// The level all dispatched kernels currently use.  Resolved once on first
+/// use from the CPU and the NDET_FORCE_PORTABLE environment variable.
+Level active_level();
+
+/// Test hook: pins the dispatch level for the rest of the process.  Throws
+/// contract_error when `level` is not available (see level_available), so a
+/// test can never silently "exercise" a path that is not really running.
+void set_level_for_testing(Level level);
+
+/// The pure resolution rule behind active_level(), exposed for unit tests:
+/// `force_portable_env` is the raw NDET_FORCE_PORTABLE value (nullptr when
+/// unset; any non-empty value other than "0" forces portable, empty counts
+/// as unset), `cpu_has_avx2` is the runtime CPU feature bit (only honoured
+/// when the path was compiled in).
+Level resolve_level(const char* force_portable_env, bool cpu_has_avx2);
+
+/// One dispatch table entry per kernel.  All counts are exact.
+struct Kernels {
+  /// sum of popcount(a[i]).
+  std::size_t (*popcount)(const word* a, std::size_t n);
+  /// sum of popcount(a[i] & b[i]).
+  std::size_t (*and_popcount)(const word* a, const word* b, std::size_t n);
+  /// sum of popcount(a[i] & ~b[i]).
+  std::size_t (*andnot_popcount)(const word* a, const word* b, std::size_t n);
+  /// Register-blocked batch kernel: out[j] = sum of popcount(t[i] & g[j][i])
+  /// for j in [0, 4) -- one pass over t serves four partners.
+  void (*and_popcount_x4)(const word* t, const word* const* g, std::size_t n,
+                          std::uint32_t* out);
+};
+
+/// The table for active_level().
+const Kernels& active_kernels();
+
+/// Below this word count the inline portable loop beats the indirect call.
+inline constexpr std::size_t kInlineWordLimit = 8;
+
+inline std::size_t popcount_words(const word* a, std::size_t n) {
+  if (n < kInlineWordLimit) {
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      total += static_cast<std::size_t>(std::popcount(a[i]));
+    return total;
+  }
+  return active_kernels().popcount(a, n);
+}
+
+inline std::size_t and_popcount(const word* a, const word* b, std::size_t n) {
+  if (n < kInlineWordLimit) {
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      total += static_cast<std::size_t>(std::popcount(a[i] & b[i]));
+    return total;
+  }
+  return active_kernels().and_popcount(a, b, n);
+}
+
+inline std::size_t andnot_popcount(const word* a, const word* b,
+                                   std::size_t n) {
+  if (n < kInlineWordLimit) {
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      total += static_cast<std::size_t>(std::popcount(a[i] & ~b[i]));
+    return total;
+  }
+  return active_kernels().andnot_popcount(a, b, n);
+}
+
+}  // namespace ndet::simd

@@ -22,6 +22,7 @@
 #include "util/bitset.hpp"
 #include "util/detection_set.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ndet {
@@ -175,7 +176,12 @@ std::vector<std::uint64_t> baseline_nmin(const DetectionDb& dense_db) {
   return nmin;
 }
 
-TEST(AnalysisEngine, MatchesSerialDenseBaselineAcrossPoliciesAndThreads) {
+TEST(AnalysisEngine, MatchesSerialDenseBaselineAcrossPoliciesThreadsAndSimd) {
+  using testing::ScopedSimdLevel;
+  std::vector<simd::Level> levels = {simd::Level::kPortable};
+  if (simd::level_available(simd::Level::kAvx2))
+    levels.push_back(simd::Level::kAvx2);
+
   std::size_t machines = 0;
   for (const FsmBenchmarkInfo& info : fsm_benchmark_suite()) {
     const Circuit circuit = fsm_benchmark_circuit(info.name);
@@ -193,12 +199,16 @@ TEST(AnalysisEngine, MatchesSerialDenseBaselineAcrossPoliciesAndThreads) {
       DetectionDbOptions options;
       options.representation = policy;
       const DetectionDb db = DetectionDb::build(circuit, options);
-      for (const unsigned threads : {1u, 2u, 8u}) {
-        const WorstCaseResult worst =
-            analyze_worst_case(db, {.num_threads = threads});
-        ASSERT_EQ(worst.nmin, baseline)
-            << info.name << " policy " << static_cast<int>(policy)
-            << " threads " << threads;
+      for (const simd::Level level : levels) {
+        const ScopedSimdLevel scope(level);
+        for (const unsigned threads : {1u, 2u, 8u}) {
+          const WorstCaseResult worst =
+              analyze_worst_case(db, {.num_threads = threads});
+          ASSERT_EQ(worst.nmin, baseline)
+              << info.name << " policy " << static_cast<int>(policy)
+              << " threads " << threads << " simd "
+              << simd::level_name(level);
+        }
       }
     }
   }

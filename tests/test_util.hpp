@@ -12,8 +12,22 @@
 #include "netlist/lines.hpp"
 #include "util/bitset.hpp"
 #include "util/detection_set.hpp"
+#include "util/simd.hpp"
 
 namespace ndet::testing {
+
+/// Pins the SIMD dispatch level for one scope and restores the previous
+/// one; the level must be available (see simd::level_available).
+class ScopedSimdLevel {
+ public:
+  explicit ScopedSimdLevel(simd::Level level) : saved_(simd::active_level()) {
+    simd::set_level_for_testing(level);
+  }
+  ~ScopedSimdLevel() { simd::set_level_for_testing(saved_); }
+
+ private:
+  simd::Level saved_;
+};
 
 /// Materializes a Bitset as a sorted vector of element ids.
 inline std::vector<std::uint64_t> to_vector(const Bitset& set) {

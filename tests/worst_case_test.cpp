@@ -98,6 +98,26 @@ TEST_F(PaperDb, FractionsAndCounts) {
   EXPECT_EQ(worst.indices_at_least(4), (std::vector<std::size_t>{5, 6}));
 }
 
+// The tail-selection contract: kNeverGuaranteed entries compare >= every
+// threshold, so count_at_least / indices_at_least INCLUDE them -- the
+// Table 3 tail and the Tables 5/6 monitored sets both depend on faults no
+// n ever guarantees staying in the tail at every n.
+TEST(WorstCaseResult, CountAndIndicesAtLeastIncludeNeverGuaranteed) {
+  WorstCaseResult result;
+  result.nmin = {1, 4, kNeverGuaranteed, 3, kNeverGuaranteed};
+  EXPECT_EQ(result.count_at_least(1), 5u);
+  EXPECT_EQ(result.count_at_least(4), 3u);
+  EXPECT_EQ(result.count_at_least(5), 2u);
+  EXPECT_EQ(result.count_at_least(kNeverGuaranteed), 2u);
+  EXPECT_EQ(result.indices_at_least(4), (std::vector<std::size_t>{1, 2, 4}));
+  EXPECT_EQ(result.indices_at_least(100), (std::vector<std::size_t>{2, 4}));
+  EXPECT_EQ(result.indices_at_least(kNeverGuaranteed),
+            (std::vector<std::size_t>{2, 4}));
+  // fraction_at_most, by contrast, EXCLUDES never-guaranteed entries from
+  // its numerator at every n: no n-detection set covers them.
+  EXPECT_DOUBLE_EQ(result.fraction_at_most(kNeverGuaranteed), 0.6);
+}
+
 TEST_F(PaperDb, HistogramSumsToFaultCount) {
   const WorstCaseResult worst = analyze_worst_case(db());
   const auto histogram = worst.histogram();
