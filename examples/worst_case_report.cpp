@@ -1,7 +1,7 @@
 // worst_case_report.cpp -- the paper's Section-2 analysis as a CLI tool.
 //
 //   worst_case_report [circuit] [--nmax=10] [--detail=5] [--threads=0]
-//                     [--json=<path>]
+//                     [--json=<path>] [--dot=<path>]
 //
 // `circuit` is an FSM benchmark name (e.g. bbara), an embedded combinational
 // circuit (e.g. c17), or a path to a .bench file.  The report covers
@@ -9,7 +9,8 @@
 // statistics, guaranteed coverage per n, the tail that needs n > nmax, and a
 // drill-down of the hardest faults with their limiting target faults.
 // --json= additionally writes the full result (nmin vector, summary
-// counters, session telemetry) as a JSON document.
+// counters, session telemetry) as a JSON document; --dot= writes the
+// circuit's netlist graph in Graphviz DOT form.
 
 #include <algorithm>
 #include <cstdio>
@@ -17,13 +18,15 @@
 #include "core/reports.hpp"
 #include "core/session.hpp"
 #include "faults/stuck_at.hpp"
+#include "netlist/graph.hpp"
 #include "netlist/stats.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
 
 int main(int argc, char** argv) {
   using namespace ndet;
-  const CliArgs args(argc, argv, {"nmax", "detail", "threads", "json"});
+  const CliArgs args(argc, argv,
+                     {"nmax", "detail", "threads", "json", "dot"});
   const std::string name =
       args.positional().empty() ? "bbara" : args.positional()[0];
   const auto nmax = args.get_u64("nmax", 10);
@@ -86,6 +89,14 @@ int main(int argc, char** argv) {
   if (args.has("json")) {
     const std::string path = args.get("json", "");
     write_json_file(path, session_report_json(session));
+    std::printf("\nwrote %s\n", path.c_str());
+  }
+  if (args.has("dot")) {
+    const std::string path = args.get("dot", "");
+    const NetlistGraph graph(session.circuit());
+    DotOptions dot_options;
+    dot_options.name = session.circuit().name();
+    write_dot_file(path, graph, dot_options);
     std::printf("\nwrote %s\n", path.c_str());
   }
   return 0;

@@ -132,16 +132,24 @@ const AverageCaseResult& AnalysisSession::average_case(
 }
 
 const std::vector<ConeReport>& AnalysisSession::partitioned(
-    std::size_t max_inputs) {
-  const auto it = partitioned_.find(max_inputs);
-  if (it != partitioned_.end()) {
-    ++stats_.partitioned_hits;
-    return it->second;
+    const PartitionOptions& request) {
+  for (auto& [key, reports] : partitioned_) {
+    if (key == request) {
+      ++stats_.partitioned_hits;
+      return *reports;
+    }
   }
-  std::vector<ConeReport> reports = timed(stats_.partitioned_seconds, [&] {
-    return partitioned_worst_case(circuit_, max_inputs, pool_);
+  auto reports = timed(stats_.partitioned_seconds, [&] {
+    return std::make_unique<std::vector<ConeReport>>(
+        partitioned_worst_case(circuit_, request, pool_));
   });
-  return partitioned_.emplace(max_inputs, std::move(reports)).first->second;
+  partitioned_.emplace_back(request, std::move(reports));
+  return *partitioned_.back().second;
+}
+
+const std::vector<ConeReport>& AnalysisSession::partitioned(
+    std::size_t max_inputs) {
+  return partitioned(PartitionOptions{.max_inputs = max_inputs});
 }
 
 SessionStats AnalysisSession::stats() const {

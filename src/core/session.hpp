@@ -130,7 +130,12 @@ class AnalysisSession {
   /// return the same object.
   const AverageCaseResult& average_case(const Procedure1Request& request);
 
-  /// Section 4's per-cone worst-case summaries; memoized per input budget.
+  /// Section 4's per-cone worst-case summaries; memoized by the full
+  /// partition request (budget vs structure mode, thresholds).  The
+  /// returned reference is stable for the session's lifetime.
+  const std::vector<ConeReport>& partitioned(const PartitionOptions& request);
+
+  /// Budget-mode convenience: partitioned({.max_inputs = max_inputs}).
   const std::vector<ConeReport>& partitioned(std::size_t max_inputs);
 
   SessionStats stats() const;
@@ -153,7 +158,8 @@ class AnalysisSession {
   /// unique_ptr slots keep result addresses stable across memo growth.
   std::vector<std::pair<Procedure1Request, std::unique_ptr<AverageCaseResult>>>
       average_;
-  std::map<std::size_t, std::vector<ConeReport>> partitioned_;
+  std::vector<std::pair<PartitionOptions, std::unique_ptr<std::vector<ConeReport>>>>
+      partitioned_;
   SessionStats stats_;
 };
 

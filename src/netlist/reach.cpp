@@ -4,24 +4,31 @@
 
 namespace ndet {
 
-ReachMatrix::ReachMatrix(const Circuit& circuit) {
-  const std::size_t n = circuit.gate_count();
-  reach_.assign(n, Bitset(n));
-  // Gates are topologically ordered, so a reverse sweep sees every fanout's
-  // transitive fanout before the gate itself.
-  for (std::size_t i = n; i-- > 0;) {
-    const auto g = static_cast<GateId>(i);
-    for (const GateId f : circuit.gate(g).fanouts) {
-      reach_[g].set(f);
-      reach_[g] |= reach_[f];
-    }
+ReachMatrix::ReachMatrix(const Circuit& circuit)
+    : graph_(circuit),
+      query_(graph_),
+      rows_(circuit.gate_count()),
+      built_(circuit.gate_count(), false) {}
+
+const Bitset& ReachMatrix::row(GateId gate) const {
+  require(gate < rows_.size(), "ReachMatrix: gate out of range");
+  if (!built_[gate]) {
+    Bitset bits(rows_.size());
+    // The cone query returns `gate` plus its transitive fanout; the row
+    // keeps the historical exclusive semantics (no path of length 0).
+    for (const GateId g : query_.fanout(gate))
+      if (g != gate) bits.set(g);
+    rows_[gate] = std::move(bits);
+    built_[gate] = true;
+    ++materialized_;
   }
+  return rows_[gate];
 }
 
 bool ReachMatrix::reaches(GateId from, GateId to) const {
-  require(from < reach_.size() && to < reach_.size(),
+  require(from < rows_.size() && to < rows_.size(),
           "ReachMatrix::reaches: gate out of range");
-  return reach_[from].test(to);
+  return row(from).test(to);
 }
 
 bool ReachMatrix::independent(GateId a, GateId b) const {
@@ -29,8 +36,8 @@ bool ReachMatrix::independent(GateId a, GateId b) const {
 }
 
 const Bitset& ReachMatrix::fanout_cone(GateId gate) const {
-  require(gate < reach_.size(), "ReachMatrix::fanout_cone: gate out of range");
-  return reach_[gate];
+  require(gate < rows_.size(), "ReachMatrix::fanout_cone: gate out of range");
+  return row(gate);
 }
 
 }  // namespace ndet

@@ -1,7 +1,6 @@
 #include "sim/batch_fault_sim.hpp"
 
 #include <algorithm>
-#include <limits>
 
 #include "logic/eval.hpp"
 #include "util/check.hpp"
@@ -12,12 +11,14 @@ namespace ndet {
 BatchFaultSimulator::BatchFaultSimulator(const ExhaustiveSimulator& good,
                                          const LineModel& lines,
                                          BatchFaultSimOptions options)
-    : good_(&good), lines_(&lines) {
+    : good_(&good), lines_(&lines), graph_(good.circuit()), cones_(graph_) {
   require(&good.circuit() == &lines.circuit(),
           "BatchFaultSimulator: simulator and line model refer to different "
           "circuits");
   num_threads_ = resolve_thread_count(options.num_threads);
-  build_cones();
+  const Circuit& circuit = good.circuit();
+  for (GateId g = 0; g < circuit.gate_count(); ++g)
+    max_fanin_ = std::max(max_fanin_, circuit.gate(g).fanins.size());
 }
 
 BatchFaultSimulator::BatchFaultSimulator(const ExhaustiveSimulator& good,
@@ -28,70 +29,12 @@ BatchFaultSimulator::BatchFaultSimulator(const ExhaustiveSimulator& good,
   shared_pool_ = &pool;
 }
 
-void BatchFaultSimulator::build_cones() {
-  const Circuit& circuit = good_->circuit();
-  const std::size_t gate_count = circuit.gate_count();
-
-  for (GateId g = 0; g < gate_count; ++g)
-    max_fanin_ = std::max(max_fanin_, circuit.gate(g).fanins.size());
-
-  cone_offsets_.assign(gate_count + 1, 0);
-  output_offsets_.assign(gate_count + 1, 0);
-
-  // One DFS per root, with epoch-stamped visit marks so the seen map never
-  // needs clearing between roots.
-  std::vector<std::uint32_t> seen(gate_count, 0);
-  std::vector<GateId> stack;
-  std::vector<GateId> cone;
-  for (GateId root = 0; root < gate_count; ++root) {
-    const std::uint32_t epoch = root + 1;
-    cone.clear();
-    stack.assign(1, root);
-    seen[root] = epoch;
-    while (!stack.empty()) {
-      const GateId g = stack.back();
-      stack.pop_back();
-      cone.push_back(g);
-      for (const GateId f : circuit.gate(g).fanouts) {
-        if (seen[f] != epoch) {
-          seen[f] = epoch;
-          stack.push_back(f);
-        }
-      }
-    }
-    // Ascending id order is topological order (Circuit invariant), matching
-    // fanout_cone_gates so both engines resimulate in the same sequence.
-    std::sort(cone.begin(), cone.end());
-    cone_offsets_[root + 1] = cone_offsets_[root] +
-                              static_cast<std::uint32_t>(cone.size());
-    cone_storage_.insert(cone_storage_.end(), cone.begin(), cone.end());
-    std::uint32_t outputs = 0;
-    for (const GateId g : cone) {
-      if (circuit.is_output(g)) {
-        output_storage_.push_back(g);
-        ++outputs;
-      }
-    }
-    output_offsets_[root + 1] = output_offsets_[root] + outputs;
-  }
-  require(cone_storage_.size() <=
-              std::numeric_limits<std::uint32_t>::max(),
-          "BatchFaultSimulator: cumulative fanout-cone size overflows the "
-          "32-bit CSR offsets");
-}
-
 std::span<const GateId> BatchFaultSimulator::cone_gates(GateId root) const {
-  require(root < good_->circuit().gate_count(),
-          "BatchFaultSimulator::cone_gates: gate id out of range");
-  return {cone_storage_.data() + cone_offsets_[root],
-          cone_storage_.data() + cone_offsets_[root + 1]};
+  return cones_.cone_gates(root);
 }
 
 std::span<const GateId> BatchFaultSimulator::cone_outputs(GateId root) const {
-  require(root < good_->circuit().gate_count(),
-          "BatchFaultSimulator::cone_outputs: gate id out of range");
-  return {output_storage_.data() + output_offsets_[root],
-          output_storage_.data() + output_offsets_[root + 1]};
+  return cones_.cone_outputs(root);
 }
 
 BatchFaultSimulator::Scratch BatchFaultSimulator::make_scratch() const {

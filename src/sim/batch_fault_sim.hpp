@@ -6,10 +6,11 @@
 // so those structural queries are pure overhead past the first fault rooted
 // at each gate.  BatchFaultSimulator amortizes them:
 //
-//   * all fanout cones and their affected-output lists are computed once at
-//     construction and stored in CSR form (one offsets array plus one
-//     flattened gate array each), so a fault simulation starts with two
-//     array lookups instead of a DFS;
+//   * all fanout cones and their affected-output lists come from the shared
+//     netlist graph core (netlist/graph.hpp): a NetlistGraph is built once
+//     and a ConeIndex freezes every root's cone and output list in CSR
+//     form, so a fault simulation starts with two array lookups instead of
+//     a DFS;
 //   * every worker thread owns a scratch arena (faulty-value columns, fanin
 //     word buffer, epoch-stamped cone-membership map) that is reused across
 //     all faults the thread processes -- zero allocations in steady state;
@@ -38,6 +39,7 @@
 
 #include "faults/bridging.hpp"
 #include "faults/stuck_at.hpp"
+#include "netlist/graph.hpp"
 #include "netlist/lines.hpp"
 #include "sim/exhaustive.hpp"
 #include "util/bitset.hpp"
@@ -105,7 +107,6 @@ class BatchFaultSimulator {
     std::uint32_t epoch = 0;
   };
 
-  void build_cones();
   Scratch make_scratch() const;
   Injection injection_for(const StuckAtFault& fault) const;
   Injection injection_for(const BridgingFault& fault) const;
@@ -119,11 +120,9 @@ class BatchFaultSimulator {
   const ThreadPool* shared_pool_ = nullptr;  ///< non-owning; may be null
   unsigned num_threads_ = 1;
 
-  // CSR cone storage, indexed by root gate id.
-  std::vector<std::uint32_t> cone_offsets_;    ///< gate_count + 1 entries
-  std::vector<GateId> cone_storage_;
-  std::vector<std::uint32_t> output_offsets_;  ///< gate_count + 1 entries
-  std::vector<GateId> output_storage_;
+  // Shared structural layer: the graph built once, all cones frozen in CSR.
+  NetlistGraph graph_;
+  ConeIndex cones_;
   std::size_t max_fanin_ = 0;
 };
 

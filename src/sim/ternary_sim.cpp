@@ -2,12 +2,12 @@
 
 #include <algorithm>
 
-#include "sim/cone.hpp"
 #include "util/check.hpp"
 
 namespace ndet {
 
-TernarySimulator::TernarySimulator(const LineModel& lines) : lines_(&lines) {}
+TernarySimulator::TernarySimulator(const LineModel& lines)
+    : lines_(&lines), graph_(lines.circuit()) {}
 
 const Circuit& TernarySimulator::circuit() const { return lines_->circuit(); }
 
@@ -49,7 +49,7 @@ std::vector<Ternary> TernarySimulator::faulty_values(
   const Ternary stuck = ternary_of(fault.stuck_value);
   const GateId start = line.kind == LineKind::kStem ? line.driver : line.sink;
 
-  const std::vector<GateId> affected = fanout_cone_gates(c, start);
+  const std::vector<GateId> affected = fanout_cone(graph_, start);
   std::vector<Ternary> faulty(good.begin(), good.end());
   std::vector<Ternary> fanins;
   for (const GateId g : affected) {

@@ -33,6 +33,7 @@
 
 #include "faults/stuck_at.hpp"
 #include "logic/ternary.hpp"
+#include "netlist/graph.hpp"
 #include "netlist/lines.hpp"
 
 namespace ndet {
@@ -69,6 +70,7 @@ class TernarySimulator {
                          std::span<const Ternary> good) const;
 
   const LineModel* lines_;
+  NetlistGraph graph_;  ///< shared structural layer behind the cone walks
   friend class Def2Oracle;
 };
 

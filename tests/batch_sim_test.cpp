@@ -16,9 +16,9 @@
 #include "faults/stuck_at.hpp"
 #include "fsm/benchmarks.hpp"
 #include "netlist/library.hpp"
+#include "netlist/graph.hpp"
 #include "netlist/reach.hpp"
 #include "sim/batch_fault_sim.hpp"
-#include "sim/cone.hpp"
 #include "sim/exhaustive.hpp"
 #include "sim/fault_sim.hpp"
 #include "test_util.hpp"
@@ -117,8 +117,9 @@ TEST(BatchFaultSim, PrecomputedConesMatchOnDemandComputation) {
   const LineModel lines(circuit);
   const ExhaustiveSimulator good(circuit);
   const BatchFaultSimulator batched(good, lines);
+  const NetlistGraph graph(circuit);
   for (GateId g = 0; g < circuit.gate_count(); ++g) {
-    const std::vector<GateId> expected = fanout_cone_gates(circuit, g);
+    const std::vector<GateId> expected = fanout_cone(graph, g);
     const std::span<const GateId> actual = batched.cone_gates(g);
     ASSERT_EQ(std::vector<GateId>(actual.begin(), actual.end()), expected)
         << "gate " << g;
