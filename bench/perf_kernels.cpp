@@ -14,6 +14,7 @@
 #include "atpg/podem.hpp"
 #include "common.hpp"
 #include "core/partition.hpp"
+#include "core/pair_kernels.hpp"
 #include "core/procedure1.hpp"
 #include "core/worst_case.hpp"
 #include "faults/stuck_at.hpp"
@@ -274,6 +275,8 @@ void BM_Procedure1Def1(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           state.range(0));
   state.counters["tests_added"] = static_cast<double>(tests_added);
+  state.SetLabel(std::string(simd::level_name(simd::active_level())) + "/bw" +
+                 std::to_string(PairKernelEngine::kBatchWidth));
 }
 BENCHMARK(BM_Procedure1Def1)->Args({100, 1})->Args({100, 8});
 
@@ -301,6 +304,8 @@ void BM_Procedure1Def2(benchmark::State& state) {
   state.counters["verdict_hits"] = static_cast<double>(cache.verdict_hits);
   state.counters["verdict_misses"] =
       static_cast<double>(cache.verdict_misses);
+  state.SetLabel(std::string(simd::level_name(simd::active_level())) + "/bw" +
+                 std::to_string(PairKernelEngine::kBatchWidth));
 }
 BENCHMARK(BM_Procedure1Def2)->Args({10, 1})->Args({10, 8});
 

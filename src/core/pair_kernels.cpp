@@ -64,7 +64,7 @@ PairKernelEngine::PairKernelEngine(std::span<const DetectionSet> target_sets,
   // enough that the adaptive freeze would have stored it dense anyway.
   element_threshold_ = options.element_threshold;
   if (element_threshold_ == 0)
-    element_threshold_ = simd::active_level() == simd::Level::kAvx2
+    element_threshold_ = simd::active_level() != simd::Level::kPortable
                              ? words_ / 4
                              : words_ * 2;
 
@@ -275,6 +275,43 @@ void PairKernelEngine::nmin_batch(std::span<const DetectionSet> batch,
 
   for (std::size_t b = 0; b < width; ++b) out[b] = s.best[b];
 }
+
+std::size_t PairKernelEngine::tile_of(std::size_t k) const {
+  // Tiles partition the sorted order contiguously; binary-search the one
+  // whose range contains k.
+  std::size_t lo = 0, hi = tiles_.size();
+  while (lo + 1 < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (tiles_[mid].begin <= k)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+void PairKernelEngine::saturation_counts(
+    std::size_t k, const Bitset::word_type* const* members, std::size_t width,
+    std::uint32_t* out) const {
+  require(width >= 1 && width <= kBatchWidth,
+          "PairKernelEngine::saturation_counts: width out of range");
+  if (row_offset_[k] != kNoRow) {
+    const Bitset::word_type* target_row = row(k);
+    const simd::Kernels& kern = simd::active_kernels();
+    std::size_t j = 0;
+    for (; j + 4 <= width; j += 4)
+      kern.and_popcount_x4(target_row, members + j, words_, out + j);
+    for (; j < width; ++j)
+      out[j] = static_cast<std::uint32_t>(
+          simd::and_popcount(target_row, members[j], words_));
+    return;
+  }
+  const std::span<const std::uint32_t> target_elems = elements(k);
+  const auto elem_count = static_cast<std::uint32_t>(target_elems.size());
+  for (std::size_t j = 0; j < width; ++j)
+    out[j] = gather_count(members[j], target_elems.data(), elem_count);
+}
+
 
 void PairKernelEngine::intersect_counts_tile(
     const Tile& tile, const Operand& g,

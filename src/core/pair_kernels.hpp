@@ -47,9 +47,11 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "util/bitset.hpp"
@@ -99,6 +101,32 @@ class PairKernelEngine {
 
   /// Number of packed tiles (exposed for tests and the pool sharding).
   std::size_t tile_count() const { return tiles_.size(); }
+
+  /// N(f) of sorted target k (ascending in k).
+  std::uint32_t n_f(std::size_t k) const { return n_f_[k]; }
+
+  /// Original family index of sorted target k.
+  std::uint32_t original_index(std::size_t k) const { return original_[k]; }
+
+  /// Tile t's [begin, end) range of sorted target indices.  Iterating tiles
+  /// in order and k within each tile walks the full N(f)-ascending order, so
+  /// external sweeps (Procedure 1's batched saturation sweep) can skip at
+  /// tile granularity while visiting targets in a deterministic order.
+  std::pair<std::uint32_t, std::uint32_t> tile_range(std::size_t t) const {
+    return {tiles_[t].begin, tiles_[t].end};
+  }
+
+  /// Tile index of sorted target k (tiles partition [0, detectable)).
+  std::size_t tile_of(std::size_t k) const;
+
+  /// Batched saturation counts against DENSE word operands: out[j] =
+  /// |T(sorted target k) n members[j]| for j in [0, width), each members[j]
+  /// a full universe row (Bitset::words()).  Row-packed targets stream once
+  /// through the register-blocked x4 kernels (four members per pass); tiny
+  /// CSR targets probe each member at their element positions.  Exact under
+  /// every dispatch level.  width must be in [1, kBatchWidth].
+  void saturation_counts(std::size_t k, const Bitset::word_type* const* members,
+                         std::size_t width, std::uint32_t* out) const;
 
   /// Per-worker state for nmin_batch; buffers are reused across calls.
   struct Scratch {

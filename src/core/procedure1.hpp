@@ -18,18 +18,29 @@
 //     a Definition-2 detection, the procedure falls back to Definition 1 so
 //     faults are not left far short of n detections (Section 4).
 //
-// Engine: the K sets are statistically independent by construction (every
-// set draws from its own generator split off the master seed), so the
-// engine shards them across the fork-join worker pool.  Each worker owns a
-// set's state end to end across all nmax iterations and keeps a per-set
-// worklist of still-unsaturated target faults; per-set snapshots are merged
-// in k order after the pool joins.  Results are bit-identical at every
-// thread count (num_threads = 1 is serial on the calling thread, 0 uses
-// every hardware thread -- the repository-wide convention).  Definition-2
+// Engine: every random draw is computed from a counter-based RNG coordinate
+// (CounterRng; stream = the set index k, counter = iteration, target fault
+// and draw site), so a draw's value depends only on WHICH decision it feeds,
+// never on how many draws ran before it.  That frees the evaluation order,
+// and the engine uses the freedom to batch the per-set saturation sweep
+// across sets: groups of up to `batch_width` sets walk the target faults in
+// the PairKernelEngine's N(f)-ascending tile order, and each visit's exact
+// detection count |T(f) n T_k| comes from the register-blocked x4 kernels
+// (packed dense rows) or element probes (tiny CSR targets) instead of a
+// per-fault and_not_count plus a per-added-test scatter.  A (set, target)
+// pair retires permanently once it can never need work again (count reached
+// nmax, or T(f) is contained in T_k), and whole tiles are skipped once no
+// group member has a live target in them.
+//
+// Sets evolve independently and draws are coordinate-addressed, so results
+// are bit-identical at every batch width, every thread count (num_threads =
+// 1 is serial on the calling thread, 0 uses every hardware thread -- the
+// repository-wide convention) and every SIMD dispatch level.  Definition-2
 // candidate search scans all of T(f_i) - T_k when small, and otherwise
 // takes `def2_probe_limit` random probes (documented deviation; DESIGN.md
-// "Definition 2").  See DESIGN.md "Procedure-1 sharding" for the worklist
-// and oracle-cache disciplines.
+// "Definition 2").  See DESIGN.md "Counter-based RNG and batched
+// Procedure 1" for the coordinate scheme, the batched sweep and the
+// retirement discipline.
 
 #pragma once
 
@@ -57,11 +68,17 @@ struct Procedure1Config {
   DetectionDefinition definition = DetectionDefinition::kStandard;
   bool keep_test_sets = false;  ///< record every test set (Table 4)
   std::size_t def2_probe_limit = 32;  ///< bounded candidate probing (Def. 2)
-  /// Worker threads sharding the K sets; each worker owns whole set
-  /// trajectories.  0 (the default) uses every hardware thread, matching
-  /// DetectionDbOptions/AnalysisOptions; 1 runs serially on the calling
-  /// thread.  The value never changes any result.
+  /// Worker threads sharding the K sets; each worker owns whole batch
+  /// groups of set trajectories.  0 (the default) uses every hardware
+  /// thread, matching DetectionDbOptions/AnalysisOptions; 1 runs serially
+  /// on the calling thread.  The value never changes any result.
   unsigned num_threads = 0;
+  /// Sets per batch group in the saturation sweep.  0 (the default) uses
+  /// the kernel batch width (PairKernelEngine::kBatchWidth); 1 runs each
+  /// set's sweep serially; values above the kernel width are clamped to
+  /// it.  Like num_threads, a pure performance knob: the value never
+  /// changes any result.
+  std::size_t batch_width = 0;
 };
 
 /// Procedure-1 bookkeeping counters (reported by the perf bench).  All three

@@ -5,6 +5,8 @@
 #include "fsm/benchmarks.hpp"
 #include "util/check.hpp"
 #include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/simd.hpp"
 
 namespace ndet {
 
@@ -27,6 +29,8 @@ std::string to_json(const SessionStats& stats) {
   JsonWriter w;
   w.begin_object();
   w.key("thread_count").value(stats.thread_count);
+  w.key("simd_level").value(stats.simd_level);
+  w.key("rng_engine").value(stats.rng_engine);
   w.key("db_seconds").value(stats.db_seconds);
   w.key("worst_case_seconds").value(stats.worst_case_seconds);
   w.key("average_case_seconds").value(stats.average_case_seconds);
@@ -55,6 +59,8 @@ AnalysisSession::AnalysisSession(Circuit circuit, SessionOptions options)
       options_(options),
       pool_(options.num_threads) {
   stats_.thread_count = pool_.thread_count();
+  stats_.simd_level = simd::level_name(simd::active_level());
+  stats_.rng_engine = CounterRng::kEngineName;
 }
 
 AnalysisSession::AnalysisSession(const std::string& circuit_name,

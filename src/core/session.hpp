@@ -75,6 +75,8 @@ struct Procedure1Request {
 /// database's storage footprint (0 until the db stage has run).
 struct SessionStats {
   unsigned thread_count = 0;  ///< resolved shared-pool width
+  std::string simd_level;     ///< active kernel dispatch level (simd::level_name)
+  std::string rng_engine;     ///< Procedure 1's counter RNG (CounterRng name)
 
   double db_seconds = 0.0;
   double worst_case_seconds = 0.0;

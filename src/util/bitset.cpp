@@ -52,50 +52,13 @@ std::size_t Bitset::and_not_count(const Bitset& other) const {
                                words_.size());
 }
 
-namespace {
-
-/// Index of the `rank`-th (0-based) set bit of `word`; rank < popcount(word).
-/// Binary-search select: halve the window by popcount (32/16/8 bits) instead
-/// of clearing up to `rank` bits one at a time, leaving at most seven
-/// bit-clears in the final byte.
-int nth_set_bit_in_word(Bitset::word_type word, std::size_t rank) {
-  int offset = 0;
-  for (int width = 32; width >= 8; width /= 2) {
-    const Bitset::word_type low =
-        word & ((Bitset::word_type{1} << width) - 1);
-    const auto in_low = static_cast<std::size_t>(std::popcount(low));
-    if (rank >= in_low) {
-      rank -= in_low;
-      word >>= width;
-      offset += width;
-    }
-  }
-  for (; rank > 0; --rank) word &= word - 1;
-  return offset + __builtin_ctzll(word);
-}
-
-}  // namespace
-
-std::size_t Bitset::nth_in_difference(const Bitset& other,
-                                      std::size_t rank) const {
-  require_same_size(other, "nth_in_difference");
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    const word_type diff = words_[i] & ~other.words_[i];
-    const auto in_word = static_cast<std::size_t>(std::popcount(diff));
-    if (rank < in_word)
-      return i * kWordBits +
-             static_cast<std::size_t>(nth_set_bit_in_word(diff, rank));
-    rank -= in_word;
-  }
-  throw contract_error("Bitset::nth_in_difference: rank out of range");
-}
-
 std::size_t Bitset::nth_set(std::size_t rank) const {
   for (std::size_t i = 0; i < words_.size(); ++i) {
     const auto in_word = static_cast<std::size_t>(std::popcount(words_[i]));
     if (rank < in_word)
       return i * kWordBits +
-             static_cast<std::size_t>(nth_set_bit_in_word(words_[i], rank));
+             static_cast<std::size_t>(
+                 detail::nth_set_bit_in_word(words_[i], rank));
     rank -= in_word;
   }
   throw contract_error("Bitset::nth_set: rank out of range");

@@ -126,19 +126,6 @@ std::size_t DetectionSet::and_not_count(const Bitset& other) const {
   return sparse_.size() - sparse_dense_intersect(sparse_, other);
 }
 
-std::size_t DetectionSet::nth_in_difference(const Bitset& other,
-                                            std::size_t rank) const {
-  require_same_universe(other.size(), "nth_in_difference");
-  if (rep_ == Rep::kDense) return dense_.nth_in_difference(other, rank);
-  const Bitset::word_type* words = other.words();
-  for (const std::uint32_t v : sparse_) {
-    if (probe(words, v)) continue;
-    if (rank == 0) return v;
-    --rank;
-  }
-  throw contract_error("DetectionSet::nth_in_difference: rank out of range");
-}
-
 Bitset DetectionSet::to_bitset() const {
   if (rep_ == Rep::kDense) return dense_;
   Bitset bits(universe_);

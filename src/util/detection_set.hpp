@@ -117,8 +117,21 @@ class DetectionSet {
 
   /// Element of (this \ other) with rank `rank` (0-based, increasing order).
   /// Precondition: rank < and_not_count(other).  Procedure 1's sampling
-  /// primitive: picking a uniformly random test out of T(f) - T_k.
-  std::size_t nth_in_difference(const Bitset& other, std::size_t rank) const;
+  /// primitive: picking a uniformly random test out of T(f) - T_k, called
+  /// once per test added -- inline for the same reason as the Bitset
+  /// overload it forwards to on dense payloads.
+  std::size_t nth_in_difference(const Bitset& other, std::size_t rank) const {
+    require_same_universe(other.size(), "nth_in_difference");
+    if (rep_ == Rep::kDense) return dense_.nth_in_difference(other, rank);
+    const Bitset::word_type* words = other.words();
+    for (const std::uint32_t v : sparse_) {
+      if ((words[v / Bitset::kWordBits] >> (v % Bitset::kWordBits)) & 1u)
+        continue;
+      if (rank == 0) return v;
+      --rank;
+    }
+    throw contract_error("DetectionSet::nth_in_difference: rank out of range");
+  }
 
   /// Calls `fn(index)` for every element in increasing order.
   template <typename Fn>

@@ -1,0 +1,97 @@
+// neon_emu.hpp -- portable scalar emulation of the NEON intrinsic subset
+// used by util/simd_neon.inc.
+//
+// The NEON kernel tier only compiles natively on AArch64, but CI runs on
+// x86.  Rather than cross-compiling under qemu (or worse, never building
+// the code at all until it breaks on real hardware), this header emulates
+// the handful of intrinsics the kernels use with plain scalar C++, so
+// tests/simd_neon_test.cpp can include the *identical* kernel bodies on any
+// architecture and verify their arithmetic against std::popcount.  The
+// emulation is a test vehicle only -- nothing in src/ links against it, and
+// the runtime dispatch table never selects a NEON level off AArch64.
+//
+// Lane conventions match NEON: vectors are 128 bits, lane 0 is the lowest
+// addressed / least significant, and reinterpret casts preserve the byte
+// image (both sides of the emulation are little-endian byte arrays).
+
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+namespace ndet::neon_emu {
+
+struct uint8x16_t {
+  std::uint8_t v[16];
+};
+struct uint16x8_t {
+  std::uint16_t v[8];
+};
+struct uint32x4_t {
+  std::uint32_t v[4];
+};
+struct uint64x2_t {
+  std::uint64_t v[2];
+};
+
+inline uint64x2_t vdupq_n_u64(std::uint64_t x) { return {{x, x}}; }
+
+inline uint64x2_t vld1q_u64(const std::uint64_t* p) { return {{p[0], p[1]}}; }
+
+inline uint64x2_t vaddq_u64(uint64x2_t a, uint64x2_t b) {
+  return {{a.v[0] + b.v[0], a.v[1] + b.v[1]}};
+}
+
+inline uint64x2_t vandq_u64(uint64x2_t a, uint64x2_t b) {
+  return {{a.v[0] & b.v[0], a.v[1] & b.v[1]}};
+}
+
+/// Bit clear: a & ~b (operand order as in the NEON instruction).
+inline uint64x2_t vbicq_u64(uint64x2_t a, uint64x2_t b) {
+  return {{a.v[0] & ~b.v[0], a.v[1] & ~b.v[1]}};
+}
+
+inline uint8x16_t vreinterpretq_u8_u64(uint64x2_t a) {
+  uint8x16_t out;
+  std::memcpy(out.v, a.v, sizeof(out.v));
+  return out;
+}
+
+/// Per-byte popcount.
+inline uint8x16_t vcntq_u8(uint8x16_t a) {
+  uint8x16_t out;
+  for (int i = 0; i < 16; ++i)
+    out.v[i] = static_cast<std::uint8_t>(std::popcount(a.v[i]));
+  return out;
+}
+
+/// Pairwise widening adds.
+inline uint16x8_t vpaddlq_u8(uint8x16_t a) {
+  uint16x8_t out;
+  for (int i = 0; i < 8; ++i)
+    out.v[i] = static_cast<std::uint16_t>(a.v[2 * i]) +
+               static_cast<std::uint16_t>(a.v[2 * i + 1]);
+  return out;
+}
+
+inline uint32x4_t vpaddlq_u16(uint16x8_t a) {
+  uint32x4_t out;
+  for (int i = 0; i < 4; ++i)
+    out.v[i] = static_cast<std::uint32_t>(a.v[2 * i]) +
+               static_cast<std::uint32_t>(a.v[2 * i + 1]);
+  return out;
+}
+
+inline uint64x2_t vpaddlq_u32(uint32x4_t a) {
+  uint64x2_t out;
+  for (int i = 0; i < 2; ++i)
+    out.v[i] = static_cast<std::uint64_t>(a.v[2 * i]) +
+               static_cast<std::uint64_t>(a.v[2 * i + 1]);
+  return out;
+}
+
+/// Horizontal add of both 64-bit lanes.
+inline std::uint64_t vaddvq_u64(uint64x2_t a) { return a.v[0] + a.v[1]; }
+
+}  // namespace ndet::neon_emu

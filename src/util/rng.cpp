@@ -20,6 +20,33 @@ std::uint64_t rotl(std::uint64_t x, int k) {
 
 }  // namespace
 
+std::uint64_t CounterRng::below_retry(std::uint64_t bound, std::uint64_t c0,
+                                      std::uint64_t c1, __uint128_t m) const {
+  // Lemire's multiply-shift rejection, continued: the inline fast path in
+  // rng.hpp already drew attempt 0 and saw its low half under `bound`, the
+  // only case where the exact threshold matters.  Retries walk the attempt
+  // counter in the third counter word, so coordinate (c0, c1) fully
+  // determines the result.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  std::uint64_t attempt = 0;
+  while (static_cast<std::uint64_t>(m) < threshold) {
+    const std::uint64_t x = block(seed_, stream_, c0, c1, ++attempt).v[0];
+    m = static_cast<__uint128_t>(x) * bound;
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::uint64_t CounterSequence::in_range(std::uint64_t lo, std::uint64_t hi) {
+  require(lo <= hi, "CounterSequence::in_range: lo must be <= hi");
+  return lo + below(hi - lo + 1);
+}
+
+bool CounterSequence::chance(std::uint64_t numerator,
+                             std::uint64_t denominator) {
+  require(denominator > 0, "CounterSequence::chance: zero denominator");
+  return below(denominator) < numerator;
+}
+
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t sm = seed;
   for (auto& s : state_) s = splitmix64(sm);

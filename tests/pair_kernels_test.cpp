@@ -12,10 +12,10 @@
 //      and of the 256-bit vector width), empty sets, every batch width,
 //      adversarial tile geometries, and every available dispatch level.
 //
-// NDET_FORCE_PORTABLE coverage: the resolution rule is unit-tested
-// directly (resolve_level), and the CI sanitize job runs this whole suite
-// with the variable set, in which case level_available(kAvx2) is false and
-// the AVX2 legs legitimately skip.
+// NDET_SIMD_LEVEL / NDET_FORCE_PORTABLE coverage: the resolution rule is
+// unit-tested directly (resolve_level), and the CI sanitize job runs this
+// whole suite with portable pinned, in which case level_available(kAvx2)
+// is false and the vector legs legitimately skip.
 
 #include <gtest/gtest.h>
 
@@ -42,8 +42,9 @@ using testing::ScopedSimdLevel;
 
 std::vector<simd::Level> available_levels() {
   std::vector<simd::Level> levels = {simd::Level::kPortable};
-  if (simd::level_available(simd::Level::kAvx2))
-    levels.push_back(simd::Level::kAvx2);
+  for (const simd::Level level :
+       {simd::Level::kAvx2, simd::Level::kAvx512, simd::Level::kNeon})
+    if (simd::level_available(level)) levels.push_back(level);
   return levels;
 }
 
@@ -57,18 +58,68 @@ Bitset random_bitset(Rng& rng, std::size_t universe,
 
 // --- dispatch resolution ----------------------------------------------------
 
-TEST(Simd, ResolveLevelHonoursForcePortableAndCpu) {
+// The best level an auto (no-selector) resolution can reach on a given
+// build/CPU combination, mirroring the documented priority.
+simd::Level best_auto(bool cpu_avx2, bool cpu_avx512) {
   using simd::Level;
-  EXPECT_EQ(simd::resolve_level("1", true), Level::kPortable);
-  EXPECT_EQ(simd::resolve_level("yes", true), Level::kPortable);
-  EXPECT_EQ(simd::resolve_level("", true),
-            simd::compiled_with_avx2() ? Level::kAvx2 : Level::kPortable);
-  EXPECT_EQ(simd::resolve_level("0", true),
-            simd::compiled_with_avx2() ? Level::kAvx2 : Level::kPortable);
-  EXPECT_EQ(simd::resolve_level(nullptr, true),
-            simd::compiled_with_avx2() ? Level::kAvx2 : Level::kPortable);
-  EXPECT_EQ(simd::resolve_level(nullptr, false), Level::kPortable);
-  EXPECT_EQ(simd::resolve_level("1", false), Level::kPortable);
+  if (simd::compiled_with_avx512() && cpu_avx512) return Level::kAvx512;
+  if (simd::compiled_with_avx2() && cpu_avx2) return Level::kAvx2;
+  if (simd::compiled_with_neon()) return Level::kNeon;
+  return Level::kPortable;
+}
+
+TEST(Simd, ResolveLevelLegacyForcePortableAlias) {
+  using simd::Level;
+  // NDET_FORCE_PORTABLE alone: any non-empty value other than "0" pins
+  // portable; empty and "0" count as unset.
+  EXPECT_EQ(simd::resolve_level(nullptr, "1", true, true), Level::kPortable);
+  EXPECT_EQ(simd::resolve_level(nullptr, "yes", true, true), Level::kPortable);
+  EXPECT_EQ(simd::resolve_level(nullptr, "", true, true),
+            best_auto(true, true));
+  EXPECT_EQ(simd::resolve_level(nullptr, "0", true, true),
+            best_auto(true, true));
+  EXPECT_EQ(simd::resolve_level(nullptr, nullptr, true, true),
+            best_auto(true, true));
+  EXPECT_EQ(simd::resolve_level(nullptr, nullptr, false, false),
+            best_auto(false, false));
+  EXPECT_EQ(simd::resolve_level(nullptr, "1", false, false), Level::kPortable);
+}
+
+TEST(Simd, ResolveLevelSelectorRequestsAndDegradation) {
+  using simd::Level;
+  const bool avx2 = simd::compiled_with_avx2();
+  const bool avx512 = simd::compiled_with_avx512();
+  const bool neon = simd::compiled_with_neon();
+
+  // Explicit requests resolve to the level when runnable...
+  EXPECT_EQ(simd::resolve_level("portable", nullptr, true, true),
+            Level::kPortable);
+  EXPECT_EQ(simd::resolve_level("avx2", nullptr, true, true),
+            avx2 ? Level::kAvx2 : Level::kPortable);
+  EXPECT_EQ(simd::resolve_level("avx512", nullptr, true, true),
+            avx512 ? Level::kAvx512
+                   : (avx2 ? Level::kAvx2 : Level::kPortable));
+  EXPECT_EQ(simd::resolve_level("neon", nullptr, true, true),
+            neon ? Level::kNeon : Level::kPortable);
+
+  // ...and degrade gracefully when the CPU (or build) cannot run them.
+  EXPECT_EQ(simd::resolve_level("avx512", nullptr, true, false),
+            avx2 ? Level::kAvx2 : Level::kPortable);
+  EXPECT_EQ(simd::resolve_level("avx512", nullptr, false, false),
+            Level::kPortable);
+  EXPECT_EQ(simd::resolve_level("avx2", nullptr, false, false),
+            Level::kPortable);
+
+  // The selector wins over the legacy alias when it decides; an empty or
+  // unrecognized selector falls through to the alias / auto rule.
+  EXPECT_EQ(simd::resolve_level("avx2", "1", true, true),
+            avx2 ? Level::kAvx2 : Level::kPortable);
+  EXPECT_EQ(simd::resolve_level("portable", "0", true, true),
+            Level::kPortable);
+  EXPECT_EQ(simd::resolve_level("", "1", true, true), Level::kPortable);
+  EXPECT_EQ(simd::resolve_level("bogus", nullptr, true, true),
+            best_auto(true, true));
+  EXPECT_EQ(simd::resolve_level("bogus", "1", true, true), Level::kPortable);
 }
 
 TEST(Simd, PortableAlwaysAvailableAndActiveLevelRuns) {
@@ -77,6 +128,16 @@ TEST(Simd, PortableAlwaysAvailableAndActiveLevelRuns) {
   EXPECT_TRUE(simd::level_available(active));
   EXPECT_STREQ(simd::level_name(simd::Level::kPortable), "portable");
   EXPECT_STREQ(simd::level_name(simd::Level::kAvx2), "avx2");
+  EXPECT_STREQ(simd::level_name(simd::Level::kAvx512), "avx512");
+  EXPECT_STREQ(simd::level_name(simd::Level::kNeon), "neon");
+  // The AVX-512 path builds on the AVX2 path; NEON excludes both.
+  if (simd::compiled_with_avx512()) {
+    EXPECT_TRUE(simd::compiled_with_avx2());
+  }
+  if (simd::compiled_with_neon()) {
+    EXPECT_FALSE(simd::compiled_with_avx2());
+    EXPECT_FALSE(simd::compiled_with_avx512());
+  }
 }
 
 TEST(Simd, KernelTablesAgreeOnAllLengths) {
@@ -230,6 +291,70 @@ TEST(PairKernels, IntersectCountsMatchPerPairKernels) {
           std::vector<std::uint32_t> m_pool(targets.size());
           engine.intersect_counts(tg, m_pool, pool);
           EXPECT_EQ(m_pool, m) << threads;
+        }
+      }
+    }
+  }
+}
+
+TEST(PairKernels, SaturationCountsMatchScalarIntersections) {
+  Rng rng(2026);
+  const std::size_t universes[] = {1, 63, 100, 257};
+  // Geometries forcing all-rows, all-elements and the mixed default, so
+  // both the x4 row path and the CSR probe path are exercised.
+  const PairKernelEngine::Options geometries[] = {
+      {},
+      {.tile_bytes = 96, .max_tile_targets = 3, .element_threshold = 1},
+      {.tile_bytes = 1u << 20, .max_tile_targets = 5,
+       .element_threshold = ~std::size_t{0}},
+  };
+  for (const simd::Level level : available_levels()) {
+    const ScopedSimdLevel scope(level);
+    for (const std::size_t universe : universes) {
+      const std::vector<DetectionSet> targets =
+          random_family(rng, universe, 13, SetRepresentation::kAdaptive);
+      // Dense member rows of assorted densities, as Procedure 1 holds them.
+      std::vector<Bitset> members;
+      for (const unsigned density : {0u, 30u, 300u, 700u, 990u, 500u, 50u, 900u})
+        members.push_back(random_bitset(rng, universe, density));
+      const Bitset::word_type* rows[PairKernelEngine::kBatchWidth];
+      for (std::size_t b = 0; b < members.size(); ++b)
+        rows[b] = members[b].words();
+
+      for (const PairKernelEngine::Options& options : geometries) {
+        const PairKernelEngine engine(targets, universe, options);
+        // Tile ranges partition the sorted order; N(f) ascends across it.
+        std::uint32_t expect_begin = 0;
+        for (std::size_t t = 0; t < engine.tile_count(); ++t) {
+          const auto [begin, end] = engine.tile_range(t);
+          EXPECT_EQ(begin, expect_begin);
+          EXPECT_LT(begin, end);
+          for (std::uint32_t k = begin; k < end; ++k)
+            EXPECT_EQ(engine.tile_of(k), t);
+          expect_begin = end;
+        }
+        EXPECT_EQ(expect_begin, engine.detectable_targets());
+
+        for (std::size_t k = 0; k < engine.detectable_targets(); ++k) {
+          if (k > 0) {
+            EXPECT_GE(engine.n_f(k), engine.n_f(k - 1));
+          }
+          const DetectionSet& tf = targets[engine.original_index(k)];
+          EXPECT_EQ(engine.n_f(k), tf.count());
+          // Every width, including the partial tails around the x4 blocks.
+          for (std::size_t width = 1; width <= members.size(); ++width) {
+            std::uint32_t counts[PairKernelEngine::kBatchWidth];
+            engine.saturation_counts(k, rows, width, counts);
+            for (std::size_t b = 0; b < width; ++b) {
+              std::uint32_t expected = 0;
+              members[b].for_each_set([&](std::size_t v) {
+                if (tf.test(static_cast<std::uint32_t>(v))) ++expected;
+              });
+              EXPECT_EQ(counts[b], expected)
+                  << "universe=" << universe << " k=" << k << " b=" << b
+                  << " level=" << simd::level_name(level);
+            }
+          }
         }
       }
     }

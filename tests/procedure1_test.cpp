@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <numeric>
 #include <set>
+#include <string>
 
 #include "core/detection_db.hpp"
 #include "core/escape.hpp"
@@ -14,6 +15,7 @@
 #include "core/worst_case.hpp"
 #include "fsm/benchmarks.hpp"
 #include "netlist/library.hpp"
+#include "util/simd.hpp"
 #include "test_util.hpp"
 
 namespace ndet {
@@ -341,6 +343,78 @@ TEST(Procedure1Parallel, BitIdenticalOnFsmSuiteDefinition2) {
   config.seed = 2005;
   config.definition = DetectionDefinition::kDissimilar;
   check_thread_invariance(db, all_monitored(db), config);
+}
+
+/// SIMD levels that can actually run here (portable always can; vector
+/// tiers only when compiled in, supported by the CPU and not overridden
+/// away by the environment).
+std::vector<simd::Level> runnable_levels() {
+  std::vector<simd::Level> levels = {simd::Level::kPortable};
+  for (const simd::Level level :
+       {simd::Level::kAvx2, simd::Level::kAvx512, simd::Level::kNeon})
+    if (simd::level_available(level)) levels.push_back(level);
+  return levels;
+}
+
+/// Pins the fully serial shape (one thread, one set per batch group) on
+/// the CURRENT dispatch level as the reference, then demands bit-identical
+/// results from every {batch width} x {thread count} x {SIMD level}
+/// combination.  This is the acceptance contract of the batched saturation
+/// sweep: batching and dispatch are pure performance knobs, and the
+/// counter-addressed draws make every trajectory independent of how the
+/// work is grouped.
+void check_batch_and_level_invariance(const DetectionDb& db,
+                                      std::span<const std::size_t> monitored,
+                                      Procedure1Config config) {
+  const simd::Level original = simd::active_level();
+  config.keep_test_sets = true;
+  config.num_threads = 1;
+  config.batch_width = 1;
+  const AverageCaseResult serial = run_procedure1(db, monitored, config);
+  for (const simd::Level level : runnable_levels()) {
+    simd::set_level_for_testing(level);
+    for (const std::size_t width : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}, std::size_t{0}}) {
+      for (const unsigned threads : {1u, 0u, 2u, 8u}) {
+        config.batch_width = width;
+        config.num_threads = threads;
+        const AverageCaseResult run = run_procedure1(db, monitored, config);
+        SCOPED_TRACE(std::string("level=") + simd::level_name(level) +
+                     " width=" + std::to_string(width) +
+                     " threads=" + std::to_string(threads));
+        expect_identical_runs(serial, run);
+      }
+    }
+  }
+  simd::set_level_for_testing(original);
+}
+
+TEST(Procedure1Batched, BitIdenticalAcrossWidthsThreadsAndLevelsDefinition1) {
+  const DetectionDb& db = paper_db();
+  Procedure1Config config;
+  config.nmax = 4;
+  config.num_sets = 24;
+  config.seed = 31;
+  check_batch_and_level_invariance(db, all_monitored(db), config);
+}
+
+TEST(Procedure1Batched, BitIdenticalAcrossWidthsThreadsAndLevelsDefinition2) {
+  const DetectionDb& db = paper_db();
+  Procedure1Config config;
+  config.nmax = 3;
+  config.num_sets = 12;
+  config.seed = 37;
+  config.definition = DetectionDefinition::kDissimilar;
+  check_batch_and_level_invariance(db, all_monitored(db), config);
+}
+
+TEST(Procedure1Batched, BitIdenticalOnFsmCircuit) {
+  const DetectionDb db = DetectionDb::build(fsm_benchmark_circuit("bbtas"));
+  Procedure1Config config;
+  config.nmax = 3;
+  config.num_sets = 8;
+  config.seed = 2005;
+  check_batch_and_level_invariance(db, all_monitored(db), config);
 }
 
 TEST(Procedure1Parallel, Def2CacheStatsAccountForEveryQuery) {
