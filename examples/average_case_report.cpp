@@ -1,7 +1,8 @@
 // average_case_report.cpp -- the paper's Section-3 analysis as a CLI tool.
 //
 //   average_case_report [circuit] [--k=500] [--nmax=10] [--seed=1]
-//                       [--def=1|2] [--threads=0] [--json=<path>]
+//                       [--def=1|2] [--threads=0] [--deadline-ms=0]
+//                       [--json=<path>]
 //
 // Opens an AnalysisSession, finds the faults an nmax-detection test set is
 // not guaranteed to detect (the worst-case stage), then estimates their
@@ -9,6 +10,8 @@
 // and prints the Table-5-style histogram together with the escape
 // statistics the paper suggests deriving from it.  --json= writes the
 // worst-case and average-case results plus session telemetry as JSON.
+// --deadline-ms= bounds the whole run; exit codes follow run_cli (124 on a
+// deadline/cancel, 2 on invalid input, 1 on internal errors).
 
 #include <algorithm>
 #include <cstdio>
@@ -21,8 +24,10 @@
 
 int main(int argc, char** argv) {
   using namespace ndet;
+  return run_cli([&] {
   const CliArgs args(argc, argv,
-                     {"k", "nmax", "seed", "def", "threads", "json"});
+                     {"k", "nmax", "seed", "def", "threads", "deadline-ms",
+                      "json"});
   const std::string name =
       args.positional().empty() ? "beecount" : args.positional()[0];
   Procedure1Request request;
@@ -35,6 +40,7 @@ int main(int argc, char** argv) {
 
   SessionOptions options;
   options.num_threads = static_cast<unsigned>(args.get_u64("threads", 0));
+  options.deadline_ms = args.get_u64("deadline-ms", 0);
   AnalysisSession session(name, options);
 
   const auto write_json = [&](const AverageCaseResult* avg) {
@@ -111,4 +117,5 @@ int main(int argc, char** argv) {
   }
   write_json(&avg);
   return 0;
+  });
 }

@@ -6,6 +6,10 @@
 // further stops helping.
 //
 //   ndetection_atpg [circuit] [--nmax=10] [--seed=1] [--threads=0]
+//                   [--deadline-ms=0]
+//
+// --deadline-ms= bounds the session stages; exit codes follow run_cli (124
+// on a deadline/cancel, 2 on invalid input, 1 on internal errors).
 
 #include <cstdio>
 
@@ -16,7 +20,8 @@
 
 int main(int argc, char** argv) {
   using namespace ndet;
-  const CliArgs args(argc, argv, {"nmax", "seed", "threads"});
+  return run_cli([&] {
+  const CliArgs args(argc, argv, {"nmax", "seed", "threads", "deadline-ms"});
   const std::string name =
       args.positional().empty() ? "bbara" : args.positional()[0];
   const int nmax = static_cast<int>(args.get_u64("nmax", 10));
@@ -24,6 +29,7 @@ int main(int argc, char** argv) {
 
   SessionOptions options;
   options.num_threads = static_cast<unsigned>(args.get_u64("threads", 0));
+  options.deadline_ms = args.get_u64("deadline-ms", 0);
   AnalysisSession session(name, options);
   const DetectionDb& db = session.db();
   const WorstCaseResult& worst = session.worst_case();
@@ -70,4 +76,5 @@ int main(int argc, char** argv) {
       "n-detection set achieves at least it; the generated sets typically\n"
       "do much better -- the paper's average-case point.\n");
   return 0;
+  });
 }

@@ -4,7 +4,7 @@
 //
 //   partition_analysis [circuit] [--budget=10] [--threads=0]
 //                      [--by-structure] [--min-overlap=0.25]
-//                      [--json=<path>] [--dot=<path>]
+//                      [--deadline-ms=0] [--json=<path>] [--dot=<path>]
 //
 // The circuit's primary outputs are grouped into cones -- greedily in
 // declaration order under the exhaustive input budget by default, or by
@@ -12,7 +12,9 @@
 // analyzed independently (cones shard across the session's worker pool).
 // --json= writes the per-cone reports plus session telemetry as one JSON
 // document; --dot= writes the whole circuit's netlist graph to <path> and
-// each cone's subgraph to <path-with-.coneN-inserted>.
+// each cone's subgraph to <path-with-.coneN-inserted>.  --deadline-ms=
+// bounds the whole run; exit codes follow run_cli (124 on a deadline or
+// cancel, 2 on invalid input, 1 on internal errors).
 
 #include <cstdio>
 #include <string>
@@ -40,9 +42,10 @@ std::string cone_dot_path(const std::string& base, std::size_t index) {
 
 int main(int argc, char** argv) {
   using namespace ndet;
+  return run_cli([&] {
   const CliArgs args(argc, argv,
                      {"budget", "threads", "by-structure", "min-overlap",
-                      "json", "dot"});
+                      "deadline-ms", "json", "dot"});
   const std::string name =
       args.positional().empty() ? "adder3" : args.positional()[0];
   // adder3's high-order sum bit depends on all 7 inputs, so the default
@@ -54,6 +57,7 @@ int main(int argc, char** argv) {
 
   SessionOptions options;
   options.num_threads = static_cast<unsigned>(args.get_u64("threads", 0));
+  options.deadline_ms = args.get_u64("deadline-ms", 0);
   AnalysisSession session(name, options);
   std::printf("%s\n", to_string(compute_stats(session.circuit())).c_str());
   std::printf("partitioning with an exhaustive budget of %zu inputs per "
@@ -115,4 +119,5 @@ int main(int argc, char** argv) {
     }
   }
   return 0;
+  });
 }

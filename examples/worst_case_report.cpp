@@ -1,7 +1,7 @@
 // worst_case_report.cpp -- the paper's Section-2 analysis as a CLI tool.
 //
 //   worst_case_report [circuit] [--nmax=10] [--detail=5] [--threads=0]
-//                     [--json=<path>] [--dot=<path>]
+//                     [--deadline-ms=0] [--json=<path>] [--dot=<path>]
 //
 // `circuit` is an FSM benchmark name (e.g. bbara), an embedded combinational
 // circuit (e.g. c17), or a path to a .bench file.  The report covers
@@ -11,6 +11,9 @@
 // --json= additionally writes the full result (nmin vector, summary
 // counters, session telemetry) as a JSON document; --dot= writes the
 // circuit's netlist graph in Graphviz DOT form.
+//
+// --deadline-ms= bounds the whole run; exit codes follow run_cli: 124 on a
+// deadline/cancel, 2 on invalid input, 1 on internal errors.
 
 #include <algorithm>
 #include <cstdio>
@@ -25,8 +28,10 @@
 
 int main(int argc, char** argv) {
   using namespace ndet;
+  return run_cli([&] {
   const CliArgs args(argc, argv,
-                     {"nmax", "detail", "threads", "json", "dot"});
+                     {"nmax", "detail", "threads", "deadline-ms", "json",
+                      "dot"});
   const std::string name =
       args.positional().empty() ? "bbara" : args.positional()[0];
   const auto nmax = args.get_u64("nmax", 10);
@@ -34,6 +39,7 @@ int main(int argc, char** argv) {
 
   SessionOptions options;
   options.num_threads = static_cast<unsigned>(args.get_u64("threads", 0));
+  options.deadline_ms = args.get_u64("deadline-ms", 0);
   AnalysisSession session(name, options);
   std::printf("%s\n\n", to_string(compute_stats(session.circuit())).c_str());
 
@@ -100,4 +106,5 @@ int main(int argc, char** argv) {
     std::printf("\nwrote %s\n", path.c_str());
   }
   return 0;
+  });
 }

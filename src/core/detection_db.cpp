@@ -5,6 +5,7 @@
 #include "netlist/reach.hpp"
 #include "sim/batch_fault_sim.hpp"
 #include "sim/exhaustive.hpp"
+#include "util/fault_inject.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ndet {
@@ -17,7 +18,13 @@ DetectionDb DetectionDb::build(const Circuit& circuit,
 
 DetectionDb DetectionDb::build(const Circuit& circuit,
                                const DetectionDbOptions& options,
-                               const ThreadPool& pool) {
+                               const ThreadPool& pool,
+                               const CancelToken* cancel) {
+  check_cancel(cancel, "detection_db");
+  NDET_INJECT("detection_db.alloc",
+              throw Error(ErrorKind::kResourceExhausted,
+                          "injected allocation failure (site "
+                          "detection_db.alloc)", "detection_db"));
   DetectionDb db;
   db.circuit_ = std::make_shared<const Circuit>(circuit);
   db.lines_ = std::make_shared<const LineModel>(*db.circuit_);
@@ -29,18 +36,21 @@ DetectionDb DetectionDb::build(const Circuit& circuit,
 
   // F: collapsed single stuck-at faults, with their detection sets.
   db.targets_ = collapse_stuck_at_faults(*db.lines_);
-  std::vector<Bitset> target_sets = simulator.detection_sets(db.targets_);
+  std::vector<Bitset> target_sets =
+      simulator.detection_sets(db.targets_, cancel);
   db.target_sets_.reserve(target_sets.size());
   for (Bitset& set : target_sets)
     db.target_sets_.push_back(
         DetectionSet::freeze(std::move(set), options.representation));
 
   // G: four-way bridging faults, keeping only the detectable ones.
+  check_cancel(cancel, "detection_db");
   const ReachMatrix reach(*db.circuit_);
   const std::vector<BridgingFault> enumerated =
       enumerate_four_way_bridging(*db.circuit_, reach);
   db.enumerated_untargeted_ = enumerated.size();
-  std::vector<Bitset> enumerated_sets = simulator.detection_sets(enumerated);
+  std::vector<Bitset> enumerated_sets =
+      simulator.detection_sets(enumerated, cancel);
   for (std::size_t i = 0; i < enumerated.size(); ++i) {
     if (enumerated_sets[i].none()) continue;
     db.untargeted_.push_back(enumerated[i]);

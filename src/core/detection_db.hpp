@@ -30,6 +30,7 @@
 #include "netlist/circuit.hpp"
 #include "netlist/lines.hpp"
 #include "util/bitset.hpp"
+#include "util/cancel.hpp"
 #include "util/detection_set.hpp"
 
 namespace ndet {
@@ -55,10 +56,14 @@ class DetectionDb {
                            const DetectionDbOptions& options = {});
 
   /// Same, on a caller-owned worker pool (AnalysisSession shares one pool
-  /// across every stage); options.num_threads is ignored.
+  /// across every stage); options.num_threads is ignored.  A non-null
+  /// `cancel` is polled between fault simulations and between the build
+  /// phases; a fired token raises Error with stage "detection_db" (or
+  /// "fault_sim" when it fired mid-batch).
   static DetectionDb build(const Circuit& circuit,
                            const DetectionDbOptions& options,
-                           const ThreadPool& pool);
+                           const ThreadPool& pool,
+                           const CancelToken* cancel = nullptr);
 
   const Circuit& circuit() const { return *circuit_; }
   const LineModel& lines() const { return *lines_; }

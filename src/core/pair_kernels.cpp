@@ -5,6 +5,7 @@
 
 #include "core/worst_case.hpp"
 #include "util/check.hpp"
+#include "util/fault_inject.hpp"
 #include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
@@ -55,6 +56,10 @@ PairKernelEngine::PairKernelEngine(std::span<const DetectionSet> target_sets,
                                    Options options) {
   require(options.tile_bytes > 0 && options.max_tile_targets > 0,
           "PairKernelEngine: tile geometry must be positive");
+  NDET_INJECT("pair_kernels.pack",
+              throw Error(ErrorKind::kResourceExhausted,
+                          "injected tile-packing failure (site "
+                          "pair_kernels.pack)", "pair_kernels"));
   universe_ = universe_size;
   words_ = (universe_size + Bitset::kWordBits - 1) / Bitset::kWordBits;
   family_size_ = target_sets.size();
@@ -332,7 +337,8 @@ void PairKernelEngine::intersect_counts(const DetectionSet& g,
 
 void PairKernelEngine::intersect_counts(const DetectionSet& g,
                                         std::span<std::uint32_t> m_out,
-                                        const ThreadPool& pool) const {
+                                        const ThreadPool& pool,
+                                        const CancelToken* cancel) const {
   require(m_out.size() == family_size_,
           "PairKernelEngine::intersect_counts: output size mismatch");
   std::vector<Bitset::word_type> staging(words_);
@@ -341,7 +347,8 @@ void PairKernelEngine::intersect_counts(const DetectionSet& g,
   // Tiles write disjoint m_out slots, so the shard is deterministic.
   pool.for_each_index(tiles_.size(), [&](std::size_t t, unsigned) {
     intersect_counts_tile(tiles_[t], op, m_out);
-  });
+  }, cancel);
+  check_cancel(cancel, "pair_kernels");
 }
 
 }  // namespace ndet

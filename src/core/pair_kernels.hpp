@@ -55,6 +55,7 @@
 #include <vector>
 
 #include "util/bitset.hpp"
+#include "util/cancel.hpp"
 #include "util/detection_set.hpp"
 
 namespace ndet {
@@ -153,9 +154,12 @@ class PairKernelEngine {
   void intersect_counts(const DetectionSet& g,
                         std::span<std::uint32_t> m_out) const;
 
-  /// Same, with the tiles sharded across a caller-owned pool.
+  /// Same, with the tiles sharded across a caller-owned pool.  A non-null
+  /// `cancel` is polled between tile claims; a fired token raises Error
+  /// with stage "pair_kernels".
   void intersect_counts(const DetectionSet& g, std::span<std::uint32_t> m_out,
-                        const ThreadPool& pool) const;
+                        const ThreadPool& pool,
+                        const CancelToken* cancel = nullptr) const;
 
  private:
   /// One tile: a contiguous range [begin, end) of the N(f)-sorted order.

@@ -248,7 +248,8 @@ std::vector<ConeReport> partitioned_worst_case(const Circuit& circuit,
 
 std::vector<ConeReport> partitioned_worst_case(
     const Circuit& circuit, const PartitionOptions& partition,
-    const ThreadPool& pool) {
+    const ThreadPool& pool, const CancelToken* cancel) {
+  check_cancel(cancel, "partitioned");
   const std::vector<Circuit> cones = partition_by_outputs(circuit, partition);
   std::vector<ConeReport> reports(cones.size());
   // One worker per cone, with the pool width split evenly among the cones'
@@ -260,11 +261,10 @@ std::vector<ConeReport> partitioned_worst_case(
   const unsigned inner = std::max(1u, pool.thread_count() / outer);
   pool.for_each_index(cones.size(), [&](std::size_t c, unsigned) {
     const Circuit& cone = cones[c];
-    DetectionDbOptions db_options;
-    db_options.num_threads = inner;
-    const DetectionDb db = DetectionDb::build(cone, db_options);
-    const WorstCaseResult worst =
-        analyze_worst_case(db, {.num_threads = inner});
+    const ThreadPool inner_pool(inner);
+    const DetectionDb db =
+        DetectionDb::build(cone, DetectionDbOptions{}, inner_pool, cancel);
+    const WorstCaseResult worst = analyze_worst_case(db, inner_pool, cancel);
     ConeReport report;
     report.cone_name = cone.name();
     report.inputs = cone.input_count();
@@ -275,7 +275,8 @@ std::vector<ConeReport> partitioned_worst_case(
     report.max_finite_nmin = worst.max_finite_nmin();
     report.never_guaranteed = worst.count_at_least(kNeverGuaranteed);
     reports[c] = std::move(report);
-  });
+  }, cancel);
+  check_cancel(cancel, "partitioned");
   return reports;
 }
 

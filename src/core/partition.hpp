@@ -98,9 +98,12 @@ std::vector<ConeReport> partitioned_worst_case(const Circuit& circuit,
                                                std::size_t max_inputs,
                                                const ThreadPool& pool);
 
-/// Full-control variant: any grouping mode, caller-owned pool.
+/// Full-control variant: any grouping mode, caller-owned pool.  A non-null
+/// `cancel` is polled between cone claims and inside every nested build and
+/// sweep; a fired token raises Error with stage "partitioned" (or the inner
+/// stage that observed it first).
 std::vector<ConeReport> partitioned_worst_case(
     const Circuit& circuit, const PartitionOptions& partition,
-    const ThreadPool& pool);
+    const ThreadPool& pool, const CancelToken* cancel = nullptr);
 
 }  // namespace ndet

@@ -31,6 +31,15 @@ std::string to_json(const SessionStats& stats) {
   w.key("thread_count").value(stats.thread_count);
   w.key("simd_level").value(stats.simd_level);
   w.key("rng_engine").value(stats.rng_engine);
+  w.key("deadline_ms").value(stats.deadline_ms);
+  if (stats.aborted_stage.empty())
+    w.key("aborted_stage").null();
+  else
+    w.key("aborted_stage").value(stats.aborted_stage);
+  if (stats.abort_kind.empty())
+    w.key("abort_kind").null();
+  else
+    w.key("abort_kind").value(stats.abort_kind);
   w.key("db_seconds").value(stats.db_seconds);
   w.key("worst_case_seconds").value(stats.worst_case_seconds);
   w.key("average_case_seconds").value(stats.average_case_seconds);
@@ -57,10 +66,18 @@ std::string to_json(const SessionStats& stats) {
 AnalysisSession::AnalysisSession(Circuit circuit, SessionOptions options)
     : circuit_(std::move(circuit)),
       options_(options),
-      pool_(options.num_threads) {
+      pool_(options.num_threads),
+      token_(options.cancel_token) {
+  // The deadline covers the whole session and is armed here, at
+  // construction; it tightens onto a caller token when one was shared.
+  if (options.deadline_ms > 0) {
+    if (!token_) token_ = std::make_shared<CancelToken>();
+    token_->set_deadline_after_ms(options.deadline_ms);
+  }
   stats_.thread_count = pool_.thread_count();
   stats_.simd_level = simd::level_name(simd::active_level());
   stats_.rng_engine = CounterRng::kEngineName;
+  stats_.deadline_ms = options.deadline_ms;
 }
 
 AnalysisSession::AnalysisSession(const std::string& circuit_name,
@@ -73,7 +90,9 @@ const DetectionDb& AnalysisSession::ensure_db() {
   db_options.max_inputs = options_.max_inputs;
   db_options.representation = options_.representation;
   db_ = timed(stats_.db_seconds, [&] {
-    return DetectionDb::build(circuit_, db_options, pool_);
+    return guard_stage("detection_db", [&] {
+      return DetectionDb::build(circuit_, db_options, pool_, cancel());
+    });
   });
   return *db_;
 }
@@ -86,8 +105,11 @@ const DetectionDb& AnalysisSession::db() {
 const WorstCaseResult& AnalysisSession::ensure_worst_case() {
   if (worst_) return *worst_;
   const DetectionDb& database = ensure_db();
-  worst_ = timed(stats_.worst_case_seconds,
-                 [&] { return analyze_worst_case(database, pool_); });
+  worst_ = timed(stats_.worst_case_seconds, [&] {
+    return guard_stage("worst_case", [&] {
+      return analyze_worst_case(database, pool_, cancel());
+    });
+  });
   return *worst_;
 }
 
@@ -130,8 +152,10 @@ const AverageCaseResult& AnalysisSession::average_case(
   config.keep_test_sets = request.keep_test_sets;
   const DetectionDb& database = ensure_db();
   auto result = timed(stats_.average_case_seconds, [&] {
-    return std::make_unique<AverageCaseResult>(
-        run_procedure1(database, faults, config, pool_));
+    return guard_stage("average_case", [&] {
+      return std::make_unique<AverageCaseResult>(
+          run_procedure1(database, faults, config, pool_, cancel()));
+    });
   });
   average_.emplace_back(request, std::move(result));
   return *average_.back().second;
@@ -146,8 +170,10 @@ const std::vector<ConeReport>& AnalysisSession::partitioned(
     }
   }
   auto reports = timed(stats_.partitioned_seconds, [&] {
-    return std::make_unique<std::vector<ConeReport>>(
-        partitioned_worst_case(circuit_, request, pool_));
+    return guard_stage("partitioned", [&] {
+      return std::make_unique<std::vector<ConeReport>>(
+          partitioned_worst_case(circuit_, request, pool_, cancel()));
+    });
   });
   partitioned_.emplace_back(request, std::move(reports));
   return *partitioned_.back().second;
@@ -179,20 +205,40 @@ std::vector<AnalysisSession> run_batch(std::span<const SessionRequest> requests,
   const ThreadPool pool(options.num_threads);
   const unsigned outer = std::max(1u, pool.workers_for(requests.size()));
   const unsigned inner = std::max(1u, pool.thread_count() / outer);
+
+  // One effective token for the whole batch, armed once up front: every
+  // session shares it, so a deadline or caller cancel stops in-flight
+  // stages and unclaimed requests alike.
+  std::shared_ptr<CancelToken> batch_token = options.cancel_token;
+  if (options.deadline_ms > 0) {
+    if (!batch_token) batch_token = std::make_shared<CancelToken>();
+    batch_token->set_deadline_after_ms(options.deadline_ms);
+  }
   SessionOptions per_circuit = options;
   per_circuit.num_threads = inner;
+  per_circuit.cancel_token = batch_token;
+  per_circuit.deadline_ms = 0;  // already armed on the shared token
 
   std::vector<std::optional<AnalysisSession>> slots(requests.size());
-  pool.for_each_index(requests.size(), [&](std::size_t i, unsigned) {
-    AnalysisSession session(requests[i].circuit, per_circuit);
-    session.worst_case();
-    for (const Procedure1Request& request : requests[i].average) {
-      if (!request.monitored && session.monitored(request.nmax).empty())
-        continue;  // tail-circuit convention: nothing to estimate
-      session.average_case(request);
-    }
-    slots[i] = std::move(session);
-  });
+  try {
+    pool.for_each_index(requests.size(), [&](std::size_t i, unsigned) {
+      AnalysisSession session(requests[i].circuit, per_circuit);
+      session.worst_case();
+      for (const Procedure1Request& request : requests[i].average) {
+        if (!request.monitored && session.monitored(request.nmax).empty())
+          continue;  // tail-circuit convention: nothing to estimate
+        session.average_case(request);
+      }
+      slots[i] = std::move(session);
+    }, batch_token.get());
+  } catch (Error& e) {
+    // Failures raised by the sharding loop itself (not inside any session
+    // stage) still need an attribution; attach_stage is first-writer-wins,
+    // so stage names set inside a session survive untouched.
+    e.attach_stage("batch");
+    throw;
+  }
+  check_cancel(batch_token.get(), "batch");
 
   std::vector<AnalysisSession> sessions;
   sessions.reserve(slots.size());

@@ -51,6 +51,14 @@ struct SessionOptions {
   unsigned num_threads = 0;  ///< worker-pool width; 0 = all hardware threads
   /// Storage policy for the frozen T(f)/T(g) sets.
   SetRepresentation representation = SetRepresentation::kAdaptive;
+  /// Wall-clock budget for the whole session, armed at construction; 0 = no
+  /// deadline.  Expiry aborts the running stage with
+  /// Error{kDeadlineExceeded} naming the stage that observed it.
+  std::uint64_t deadline_ms = 0;
+  /// Caller-owned cancellation token, shared with the session (the deadline,
+  /// if any, is tightened onto it).  Null + no deadline = the zero-overhead
+  /// path: stages never touch a token.
+  std::shared_ptr<CancelToken> cancel_token = nullptr;
 };
 
 /// One average-case query: the Procedure-1 parameters that key the
@@ -77,6 +85,13 @@ struct SessionStats {
   unsigned thread_count = 0;  ///< resolved shared-pool width
   std::string simd_level;     ///< active kernel dispatch level (simd::level_name)
   std::string rng_engine;     ///< Procedure 1's counter RNG (CounterRng name)
+
+  std::uint64_t deadline_ms = 0;  ///< SessionOptions::deadline_ms, echoed
+  /// When a stage aborted on a typed error: the innermost stage that
+  /// observed it and the error kind ("deadline_exceeded", ...).  Empty while
+  /// the session has only succeeded.
+  std::string aborted_stage;
+  std::string abort_kind;
 
   double db_seconds = 0.0;
   double worst_case_seconds = 0.0;
@@ -114,6 +129,10 @@ class AnalysisSession {
   const SessionOptions& options() const { return options_; }
   /// The shared worker pool every stage runs on.
   const ThreadPool& pool() const { return pool_; }
+  /// The session's effective cancellation token: the caller's token (with
+  /// the deadline tightened onto it), a session-owned one when only a
+  /// deadline was requested, or null -- the zero-overhead path.
+  const CancelToken* cancel() const { return token_.get(); }
 
   /// The exhaustive detection-set database; built on first call.
   const DetectionDb& db();
@@ -150,9 +169,24 @@ class AnalysisSession {
   const WorstCaseResult& ensure_worst_case();
   const std::vector<std::size_t>& ensure_monitored(int nmax);
 
+  /// Runs one stage body, recording abort telemetry and attaching `stage`
+  /// to any escaping typed error (an inner stage's name wins).
+  template <typename Work>
+  auto guard_stage(const char* stage, Work&& work) {
+    try {
+      return work();
+    } catch (Error& e) {
+      e.attach_stage(stage);
+      stats_.aborted_stage = e.stage();
+      stats_.abort_kind = to_string(e.kind());
+      throw;
+    }
+  }
+
   Circuit circuit_;
   SessionOptions options_;
   ThreadPool pool_;
+  std::shared_ptr<CancelToken> token_;
 
   std::optional<DetectionDb> db_;
   std::optional<WorstCaseResult> worst_;
@@ -179,6 +213,11 @@ struct SessionRequest {
 /// evenly among each circuit's nested stages, as in partitioned_worst_case)
 /// and returns the completed sessions index-aligned with the requests.
 /// Results are bit-identical to running each request's session serially.
+/// options.deadline_ms / options.cancel_token cover the WHOLE batch: one
+/// effective token is armed up front and shared by every session, so a
+/// fired token stops in-flight stages and unclaimed requests alike, raising
+/// Error with the innermost observing stage (or "batch" when it fired
+/// between requests).
 std::vector<AnalysisSession> run_batch(std::span<const SessionRequest> requests,
                                        const SessionOptions& options = {});
 

@@ -84,7 +84,9 @@ WorstCaseResult analyze_worst_case(const DetectionDb& db,
 }
 
 WorstCaseResult analyze_worst_case(const DetectionDb& db,
-                                   const ThreadPool& pool) {
+                                   const ThreadPool& pool,
+                                   const CancelToken* cancel) {
+  check_cancel(cancel, "worst_case");
   WorstCaseResult result;
   const std::vector<DetectionSet>& untargeted = db.untargeted_sets();
   result.nmin.assign(untargeted.size(), kNeverGuaranteed);
@@ -107,7 +109,8 @@ WorstCaseResult analyze_worst_case(const DetectionDb& db,
                       std::span<std::uint64_t>(result.nmin)
                           .subspan(begin, size),
                       scratch[worker]);
-  });
+  }, cancel);
+  check_cancel(cancel, "worst_case");
   return result;
 }
 

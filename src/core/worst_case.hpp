@@ -91,9 +91,11 @@ WorstCaseResult analyze_worst_case(const DetectionDb& db,
                                    const AnalysisOptions& options = {});
 
 /// Same, on a caller-owned worker pool (AnalysisSession shares one pool
-/// across every stage).
+/// across every stage).  A non-null `cancel` is polled between batch
+/// claims; a fired token raises Error with stage "worst_case".
 WorstCaseResult analyze_worst_case(const DetectionDb& db,
-                                   const ThreadPool& pool);
+                                   const ThreadPool& pool,
+                                   const CancelToken* cancel = nullptr);
 
 /// Table-1-style drill-down for one untargeted fault: every target fault
 /// with overlapping tests, with N(f), M(g,f) and nmin(g,f).

@@ -43,6 +43,13 @@ Kiss2Fsm parse_kiss2(const std::string& text, const std::string& name) {
   std::string raw;
   int line_number = 0;
   bool ended = false;
+  const auto reject_trailing = [&](std::istringstream& line,
+                                   const std::string& what) {
+    std::string extra;
+    if (line >> extra)
+      fail(name, line_number,
+           "trailing token '" + extra + "' after " + what);
+  };
   while (std::getline(stream, raw)) {
     ++line_number;
     const auto hash = raw.find('#');
@@ -56,18 +63,34 @@ Kiss2Fsm parse_kiss2(const std::string& text, const std::string& name) {
       int value = 0;
       if (!(line >> value) || value <= 0)
         fail(name, line_number, "directive " + first + " needs a positive count");
-      if (first == ".i") fsm.num_inputs = value;
-      else if (first == ".o") fsm.num_outputs = value;
-      else if (first == ".p") declared_terms = value;
-      else declared_states = value;
+      reject_trailing(line, "directive " + first);
+      if (first == ".i") {
+        if (fsm.num_inputs > 0) fail(name, line_number, "duplicate directive .i");
+        fsm.num_inputs = value;
+      } else if (first == ".o") {
+        if (fsm.num_outputs > 0)
+          fail(name, line_number, "duplicate directive .o");
+        fsm.num_outputs = value;
+      } else if (first == ".p") {
+        if (declared_terms >= 0) fail(name, line_number, "duplicate directive .p");
+        declared_terms = value;
+      } else {
+        if (declared_states >= 0)
+          fail(name, line_number, "duplicate directive .s");
+        declared_states = value;
+      }
       continue;
     }
     if (first == ".r") {
+      if (!fsm.reset_state.empty())
+        fail(name, line_number, "duplicate directive .r");
       if (!(line >> fsm.reset_state))
         fail(name, line_number, ".r needs a state name");
+      reject_trailing(line, "directive .r");
       continue;
     }
     if (first == ".e" || first == ".end") {
+      reject_trailing(line, "directive " + first);
       ended = true;
       continue;
     }
@@ -77,6 +100,7 @@ Kiss2Fsm parse_kiss2(const std::string& text, const std::string& name) {
     term.input = first;
     if (!(line >> term.current >> term.next >> term.output))
       fail(name, line_number, "term needs: input current next output");
+    reject_trailing(line, "term");
     if (fsm.num_inputs == 0 || fsm.num_outputs == 0)
       fail(name, line_number, ".i and .o must precede terms");
     if (static_cast<int>(term.input.size()) != fsm.num_inputs ||

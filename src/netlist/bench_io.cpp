@@ -70,6 +70,9 @@ Circuit parse_bench(const std::string& text, const std::string& name) {
     const auto close = line.rfind(')');
     if (open == std::string::npos || close == std::string::npos || close < open)
       fail(line_number, "expected 'INPUT(..)', 'OUTPUT(..)' or 'name = GATE(..)'");
+    const std::string trailing = trim(line.substr(close + 1));
+    if (!trailing.empty())
+      fail(line_number, "unexpected text '" + trailing + "' after ')'");
     const std::string head = trim(line.substr(0, open));
     const std::string args = line.substr(open + 1, close - open - 1);
 
@@ -78,9 +81,19 @@ Circuit parse_bench(const std::string& text, const std::string& name) {
       const std::string keyword = upper(trim(head));
       const std::string signal = trim(args);
       if (signal.empty()) fail(line_number, "empty signal name");
-      if (keyword == "INPUT") input_order.push_back(signal);
-      else if (keyword == "OUTPUT") output_order.push_back(signal);
-      else fail(line_number, "unknown directive '" + head + "'");
+      if (keyword == "INPUT") {
+        if (std::find(input_order.begin(), input_order.end(), signal) !=
+            input_order.end())
+          fail(line_number, "INPUT '" + signal + "' declared twice");
+        input_order.push_back(signal);
+      } else if (keyword == "OUTPUT") {
+        if (std::find(output_order.begin(), output_order.end(), signal) !=
+            output_order.end())
+          fail(line_number, "OUTPUT '" + signal + "' declared twice");
+        output_order.push_back(signal);
+      } else {
+        fail(line_number, "unknown directive '" + head + "'");
+      }
       continue;
     }
 

@@ -162,7 +162,7 @@ void BatchFaultSimulator::simulate_into(const Injection& inj, Scratch& scratch,
 
 template <typename Fault>
 std::vector<Bitset> BatchFaultSimulator::run_batch(
-    std::span<const Fault> faults) const {
+    std::span<const Fault> faults, const CancelToken* cancel) const {
   std::vector<Bitset> sets(faults.size());
   if (faults.empty()) return sets;
 
@@ -172,22 +172,28 @@ std::vector<Bitset> BatchFaultSimulator::run_batch(
   // allocations in steady state.
   std::vector<Scratch> scratch(pool.workers_for(faults.size()));
   for (Scratch& s : scratch) s = make_scratch();
-  pool.for_each_index(faults.size(), [&](std::size_t i, unsigned worker) {
-    Bitset set(good_->vector_count());
-    simulate_into(injection_for(faults[i]), scratch[worker], set);
-    sets[i] = std::move(set);
-  });
+  pool.for_each_index(
+      faults.size(),
+      [&](std::size_t i, unsigned worker) {
+        Bitset set(good_->vector_count());
+        simulate_into(injection_for(faults[i]), scratch[worker], set);
+        sets[i] = std::move(set);
+      },
+      cancel);
+  // Workers drained without throwing; surface the cancellation here, where
+  // the stage is known.
+  check_cancel(cancel, "fault_sim");
   return sets;
 }
 
 std::vector<Bitset> BatchFaultSimulator::detection_sets(
-    std::span<const StuckAtFault> faults) const {
-  return run_batch(faults);
+    std::span<const StuckAtFault> faults, const CancelToken* cancel) const {
+  return run_batch(faults, cancel);
 }
 
 std::vector<Bitset> BatchFaultSimulator::detection_sets(
-    std::span<const BridgingFault> faults) const {
-  return run_batch(faults);
+    std::span<const BridgingFault> faults, const CancelToken* cancel) const {
+  return run_batch(faults, cancel);
 }
 
 Bitset BatchFaultSimulator::detection_set(const StuckAtFault& fault) const {

@@ -43,6 +43,7 @@
 #include "netlist/lines.hpp"
 #include "sim/exhaustive.hpp"
 #include "util/bitset.hpp"
+#include "util/cancel.hpp"
 
 namespace ndet {
 
@@ -67,9 +68,13 @@ class BatchFaultSimulator {
                       const ThreadPool& pool);
 
   /// T(f) for every fault, index-aligned with the input span.  Fans out
-  /// across the worker pool.
-  std::vector<Bitset> detection_sets(std::span<const StuckAtFault> faults) const;
-  std::vector<Bitset> detection_sets(std::span<const BridgingFault> faults) const;
+  /// across the worker pool.  A non-null `cancel` is polled between fault
+  /// claims; a fired token surfaces as Error{kCancelled|kDeadlineExceeded}
+  /// with stage "fault_sim".
+  std::vector<Bitset> detection_sets(std::span<const StuckAtFault> faults,
+                                     const CancelToken* cancel = nullptr) const;
+  std::vector<Bitset> detection_sets(std::span<const BridgingFault> faults,
+                                     const CancelToken* cancel = nullptr) const;
 
   /// Single-fault conveniences (run on the calling thread).
   Bitset detection_set(const StuckAtFault& fault) const;
@@ -113,7 +118,8 @@ class BatchFaultSimulator {
   void simulate_into(const Injection& inj, Scratch& scratch, Bitset& out) const;
 
   template <typename Fault>
-  std::vector<Bitset> run_batch(std::span<const Fault> faults) const;
+  std::vector<Bitset> run_batch(std::span<const Fault> faults,
+                                const CancelToken* cancel) const;
 
   const ExhaustiveSimulator* good_;
   const LineModel* lines_;

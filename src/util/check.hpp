@@ -5,19 +5,27 @@
 // invariants use assertions.  `require` is for contract checks that must stay
 // active in release builds (parser errors, API misuse); failures are
 // programming or input errors, not recoverable conditions.
+//
+// contract_error participates in the pipeline's typed error taxonomy
+// (util/cancel.hpp): it IS-A ndet::Error of kind kInvalidInput, so every
+// require() failure and parser error maps to the same exit code / daemon
+// response as any other invalid-input condition, while existing catch sites
+// keep working unchanged.
 
 #pragma once
 
-#include <stdexcept>
 #include <string>
+
+#include "util/cancel.hpp"
 
 namespace ndet {
 
 /// Thrown when an API precondition is violated (bad argument, malformed
-/// input file, out-of-range fault index, ...).
-class contract_error : public std::logic_error {
+/// input file, out-of-range fault index, ...).  Kind: kInvalidInput.
+class contract_error : public Error {
  public:
-  explicit contract_error(const std::string& what) : std::logic_error(what) {}
+  explicit contract_error(const std::string& what)
+      : Error(ErrorKind::kInvalidInput, what) {}
 };
 
 /// Throws contract_error with `message` when `condition` is false.

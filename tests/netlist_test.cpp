@@ -216,6 +216,41 @@ TEST(BenchIo, RejectsDuplicateDefinitions) {
   EXPECT_THROW((void)parse_bench(text, "dup"), contract_error);
 }
 
+TEST(BenchIo, MalformedFixtureTable) {
+  // Each fixture must raise Error{kInvalidInput} whose message carries the
+  // offending line number plus a diagnostic fragment.
+  struct Fixture {
+    const char* label;
+    const char* text;
+    const char* fragment;
+  };
+  const Fixture fixtures[] = {
+      {"dup_input", "INPUT(a)\nINPUT(a)\nOUTPUT(z)\nz = NOT(a)\n",
+       "line 2: INPUT 'a' declared twice"},
+      {"dup_output", "INPUT(a)\nOUTPUT(z)\nOUTPUT(z)\nz = NOT(a)\n",
+       "line 3: OUTPUT 'z' declared twice"},
+      {"trailing_text", "INPUT(a) junk\nOUTPUT(z)\nz = NOT(a)\n",
+       "line 1: unexpected text 'junk' after ')'"},
+      {"empty_operand", "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = AND(a,,b)\n",
+       "line 4: empty operand"},
+      {"unknown_gate", "INPUT(a)\nOUTPUT(z)\nz = FROB(a)\n",
+       "line 3: unknown gate type 'FROB'"},
+      {"input_and_gate", "INPUT(a)\nINPUT(z)\nOUTPUT(z)\nz = NOT(a)\n",
+       "both INPUT and gate output"},
+  };
+  for (const Fixture& f : fixtures) {
+    try {
+      (void)parse_bench(f.text, f.label);
+      FAIL() << f.label << ": expected a parse error";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.kind(), ErrorKind::kInvalidInput) << f.label;
+      EXPECT_NE(std::string(e.what()).find(f.fragment), std::string::npos)
+          << f.label << ": message '" << e.what() << "' lacks '" << f.fragment
+          << "'";
+    }
+  }
+}
+
 TEST(BenchIo, ErrorsCarryLineNumbers) {
   const std::string text = "INPUT(a)\nOUTPUT(z)\nz = FROB(a)\n";
   try {
