@@ -84,6 +84,18 @@ AnalysisSession::AnalysisSession(const std::string& circuit_name,
                                  SessionOptions options)
     : AnalysisSession(resolve_circuit(circuit_name), options) {}
 
+void AnalysisSession::rearm(std::uint64_t deadline_ms,
+                            std::shared_ptr<CancelToken> token) {
+  token_ = std::move(token);
+  if (deadline_ms > 0) {
+    if (!token_) token_ = std::make_shared<CancelToken>();
+    token_->set_deadline_after_ms(deadline_ms);
+  }
+  stats_.deadline_ms = deadline_ms;
+  stats_.aborted_stage.clear();
+  stats_.abort_kind.clear();
+}
+
 const DetectionDb& AnalysisSession::ensure_db() {
   if (db_) return *db_;
   DetectionDbOptions db_options;
@@ -222,12 +234,39 @@ std::vector<AnalysisSession> run_batch(std::span<const SessionRequest> requests,
   std::vector<std::optional<AnalysisSession>> slots(requests.size());
   try {
     pool.for_each_index(requests.size(), [&](std::size_t i, unsigned) {
-      AnalysisSession session(requests[i].circuit, per_circuit);
-      session.worst_case();
-      for (const Procedure1Request& request : requests[i].average) {
-        if (!request.monitored && session.monitored(request.nmax).empty())
-          continue;  // tail-circuit convention: nothing to estimate
-        session.average_case(request);
+      // The per-request token path (daemon requirement): a request carrying
+      // its own deadline/token runs on a token chained UNDER the batch-wide
+      // one -- the batch cancel still reaches it -- and a per-request
+      // expiry is captured into this slot's session instead of thrown, so
+      // one expired request never cancels its neighbors.
+      SessionOptions request_options = per_circuit;
+      const bool own_token =
+          requests[i].deadline_ms > 0 || requests[i].cancel_token != nullptr;
+      if (own_token) {
+        std::shared_ptr<CancelToken> token = requests[i].cancel_token;
+        if (!token) token = std::make_shared<CancelToken>();
+        if (requests[i].deadline_ms > 0)
+          token->set_deadline_after_ms(requests[i].deadline_ms);
+        if (batch_token) token->chain_parent(batch_token);
+        request_options.cancel_token = std::move(token);
+      }
+      AnalysisSession session(requests[i].circuit, request_options);
+      try {
+        session.worst_case();
+        for (const Procedure1Request& request : requests[i].average) {
+          if (!request.monitored && session.monitored(request.nmax).empty())
+            continue;  // tail-circuit convention: nothing to estimate
+          session.average_case(request);
+        }
+      } catch (const Error& e) {
+        const bool request_abort =
+            own_token && (e.kind() == ErrorKind::kCancelled ||
+                          e.kind() == ErrorKind::kDeadlineExceeded) &&
+            !is_cancelled(batch_token.get());
+        if (!request_abort) throw;
+        // The abort telemetry was recorded by guard_stage; the slot keeps
+        // the partially-computed session (no memo slot was populated by the
+        // failed stage).
       }
       slots[i] = std::move(session);
     }, batch_token.get());

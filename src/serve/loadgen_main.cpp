@@ -1,0 +1,481 @@
+// ndet_loadgen -- replay harness for the ndetd serving layer.
+//
+// Generates a deterministic (seeded) schedule of mixed worst-case /
+// average-case / partition requests across a circuit list, replays them at
+// a configurable client concurrency, and writes a BENCH_serve.json summary
+// (p50/p90/p99 latency, throughput, error counts, the server's own stats)
+// next to the repository's other benchmark baselines.
+//
+// Modes:
+//   * in-process (default): drives serve::Server::handle_line directly from
+//     N client threads -- no I/O noise, the numbers measure the engine.
+//   * --server=PATH: fork/execs the ndetd binary, speaks the line protocol
+//     over pipes (stdin/stdout) with pipelined requests -- the numbers
+//     measure the whole daemon.
+//
+// --validate recomputes every distinct request's result through a direct
+// AnalysisSession and requires each successful response's "result" payload
+// to be BYTE-identical; deadline'd requests must either still succeed
+// identically or fail as deadline_exceeded/cancelled with a stage
+// attribution.  Exits 1 on any validation failure, so CI can gate on it.
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/session.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "util/check.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+
+namespace ndet {
+namespace {
+
+struct PlannedRequest {
+  std::string line;          ///< the request JSON (one protocol line)
+  serve::RequestType type = serve::RequestType::kWorstCase;
+  std::string circuit;
+  std::uint64_t seed = 0;    ///< average-case seed (validation key)
+  bool deadlined = false;    ///< carries a tiny deadline_ms
+};
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> items;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > start) items.push_back(csv.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return items;
+}
+
+/// The deterministic mixed schedule: ~50% worst-case, ~30% average-case,
+/// ~20% partition, every `deadline_every`-th request deadline'd at 1ms.
+std::vector<PlannedRequest> plan_requests(std::size_t count,
+                                          const std::vector<std::string>& circuits,
+                                          std::uint64_t seed,
+                                          std::size_t num_sets, int nmax,
+                                          std::size_t deadline_every) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::size_t> pick_circuit(0,
+                                                          circuits.size() - 1);
+  std::uniform_int_distribution<int> pick_mix(0, 9);
+  std::uniform_int_distribution<std::uint64_t> pick_seed(1, 4);
+
+  std::vector<PlannedRequest> planned;
+  planned.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    PlannedRequest request;
+    request.circuit = circuits[pick_circuit(rng)];
+    const int mix = pick_mix(rng);
+    request.type = mix < 5   ? serve::RequestType::kWorstCase
+                   : mix < 8 ? serve::RequestType::kAverageCase
+                             : serve::RequestType::kPartition;
+    request.deadlined = deadline_every > 0 && (i + 1) % deadline_every == 0;
+
+    JsonWriter w;
+    w.begin_object();
+    w.key("id").value(static_cast<std::uint64_t>(i + 1));
+    w.key("type").value(serve::to_string(request.type));
+    w.key("circuit").value(request.circuit);
+    if (request.deadlined) w.key("deadline_ms").value(std::uint64_t{1});
+    if (request.type == serve::RequestType::kAverageCase) {
+      // A small seed pool keeps the distinct-request set cheap to validate
+      // while still exercising the memo-key separation.
+      request.seed = pick_seed(rng);
+      w.key("nmax").value(nmax);
+      w.key("num_sets").value(static_cast<std::uint64_t>(num_sets));
+      w.key("seed").value(request.seed);
+    } else if (request.type == serve::RequestType::kPartition) {
+      w.key("budget").value(std::uint64_t{8});
+    }
+    w.end_object();
+    request.line = w.str();
+    planned.push_back(std::move(request));
+  }
+  return planned;
+}
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+/// Expected "result" payloads for every distinct request, computed through
+/// direct AnalysisSession calls -- the serving layer must be bit-identical.
+class Expectations {
+ public:
+  explicit Expectations(const serve::ServerOptions& options)
+      : base_(options) {}
+
+  const std::string& expected(const PlannedRequest& request, int nmax,
+                              std::size_t num_sets) {
+    const std::string key = request.circuit + "|" +
+                            serve::to_string(request.type) + "|" +
+                            std::to_string(request.seed);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+
+    AnalysisSession& session = session_for(request.circuit);
+    std::string result;
+    switch (request.type) {
+      case serve::RequestType::kWorstCase:
+        result = to_json(session.worst_case());
+        break;
+      case serve::RequestType::kAverageCase: {
+        Procedure1Request avg;
+        avg.nmax = nmax;
+        avg.num_sets = num_sets;
+        avg.seed = request.seed;
+        result = to_json(session.average_case(avg));
+        break;
+      }
+      case serve::RequestType::kPartition: {
+        JsonWriter w;
+        w.begin_array();
+        for (const ConeReport& report :
+             session.partitioned(PartitionOptions{.max_inputs = 8}))
+          w.raw(to_json(report));
+        w.end_array();
+        result = w.str();
+        break;
+      }
+      default:
+        break;
+    }
+    return cache_.emplace(key, std::move(result)).first->second;
+  }
+
+ private:
+  AnalysisSession& session_for(const std::string& circuit) {
+    const auto it = sessions_.find(circuit);
+    if (it != sessions_.end()) return *it->second;
+    SessionOptions options;
+    options.max_inputs = base_.max_inputs;
+    options.representation = base_.representation;
+    options.num_threads = 1;
+    auto session = std::make_unique<AnalysisSession>(circuit, options);
+    return *sessions_.emplace(circuit, std::move(session)).first->second;
+  }
+
+  serve::ServerOptions base_;
+  std::map<std::string, std::unique_ptr<AnalysisSession>> sessions_;
+  std::map<std::string, std::string> cache_;
+};
+
+struct RunResult {
+  std::vector<double> latency_ms;     ///< index-aligned with the schedule
+  std::vector<std::string> responses; ///< index-aligned with the schedule
+  double wall_seconds = 0.0;
+  std::string server_stats;           ///< the final stats payload
+};
+
+/// In-process replay: N client threads racing over one shared schedule.
+RunResult run_inprocess(serve::Server& server,
+                        const std::vector<PlannedRequest>& planned,
+                        unsigned concurrency) {
+  RunResult result;
+  result.latency_ms.resize(planned.size());
+  result.responses.resize(planned.size());
+  std::atomic<std::size_t> next{0};
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(concurrency);
+  for (unsigned c = 0; c < concurrency; ++c) {
+    clients.emplace_back([&] {
+      for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+           i < planned.size();
+           i = next.fetch_add(1, std::memory_order_relaxed)) {
+        const auto start = std::chrono::steady_clock::now();
+        result.responses[i] = server.handle_line(planned[i].line);
+        result.latency_ms[i] = std::chrono::duration<double, std::milli>(
+                                   std::chrono::steady_clock::now() - start)
+                                   .count();
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  result.wall_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
+  result.server_stats = server.stats_json();
+  return result;
+}
+
+/// Pipe replay: fork/exec the ndetd binary and pipeline the schedule
+/// through its stdin/stdout.  Latency includes queueing delay, which is the
+/// point -- it is the latency a pipelined client observes under load.
+RunResult run_pipe(const std::string& server_path,
+                   const std::vector<PlannedRequest>& planned,
+                   const serve::ServerOptions& options) {
+  int to_child[2];
+  int from_child[2];
+  require(::pipe(to_child) == 0 && ::pipe(from_child) == 0,
+          "loadgen: pipe() failed");
+  const pid_t pid = ::fork();
+  require(pid >= 0, "loadgen: fork() failed");
+  if (pid == 0) {
+    ::dup2(to_child[0], STDIN_FILENO);
+    ::dup2(from_child[1], STDOUT_FILENO);
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    ::close(from_child[0]);
+    ::close(from_child[1]);
+    const std::string cache = "--cache-bytes=" + std::to_string(options.cache_bytes);
+    const std::string conc = "--concurrency=" + std::to_string(options.concurrency);
+    const std::string threads = "--threads=" + std::to_string(options.threads);
+    ::execl(server_path.c_str(), server_path.c_str(), cache.c_str(),
+            conc.c_str(), threads.c_str(), static_cast<char*>(nullptr));
+    std::perror("loadgen: execl ndetd");
+    ::_exit(127);
+  }
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+
+  RunResult result;
+  result.latency_ms.resize(planned.size());
+  result.responses.resize(planned.size());
+  std::vector<std::chrono::steady_clock::time_point> sent(planned.size());
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  std::thread writer([&] {
+    for (std::size_t i = 0; i < planned.size(); ++i) {
+      const std::string line = planned[i].line + "\n";
+      sent[i] = std::chrono::steady_clock::now();
+      std::size_t written = 0;
+      while (written < line.size()) {
+        const ssize_t n = ::write(to_child[1], line.data() + written,
+                                  line.size() - written);
+        if (n <= 0) return;
+        written += static_cast<std::size_t>(n);
+      }
+    }
+    const std::string stats = "{\"id\":0,\"type\":\"stats\"}\n";
+    (void)!::write(to_child[1], stats.data(), stats.size());
+    ::close(to_child[1]);
+  });
+
+  std::string buffer;
+  char chunk[65536];
+  std::size_t received = 0;
+  while (received < planned.size() + 1) {
+    const ssize_t got = ::read(from_child[0], chunk, sizeof chunk);
+    if (got <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(got));
+    std::size_t newline;
+    while ((newline = buffer.find('\n')) != std::string::npos) {
+      const std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (line.empty()) continue;
+      ++received;
+      const auto now = std::chrono::steady_clock::now();
+      const json::Value response = json::parse(line);
+      const std::uint64_t id = response.at("id").as_uint64();
+      if (id == 0) {
+        // The trailing stats probe; its payload is the server's own view.
+        if (const json::Value* r = response.find("result")) {
+          const std::size_t at = line.find("\"result\":");
+          (void)r;
+          if (at != std::string::npos)
+            result.server_stats =
+                line.substr(at + 9, line.size() - (at + 9) - 1);
+        }
+        continue;
+      }
+      require(id >= 1 && id <= planned.size(),
+              "loadgen: response id out of range");
+      result.responses[id - 1] = line;
+      result.latency_ms[id - 1] =
+          std::chrono::duration<double, std::milli>(now - sent[id - 1])
+              .count();
+    }
+  }
+  writer.join();
+  ::close(from_child[0]);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  require(WIFEXITED(status) && WEXITSTATUS(status) == 0,
+          "loadgen: ndetd exited abnormally");
+  result.wall_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
+  for (const std::string& response : result.responses)
+    require(!response.empty(), "loadgen: missing response for a request id");
+  return result;
+}
+
+}  // namespace
+}  // namespace ndet
+
+int main(int argc, char** argv) {
+  using namespace ndet;
+  return run_cli([&]() -> int {
+    const CliArgs args(argc, argv,
+                       {"requests", "concurrency", "circuits", "cache-bytes",
+                        "threads", "seed", "out", "responses", "validate",
+                        "server", "deadline-every", "num-sets", "nmax"});
+    const std::size_t requests = args.get_u64("requests", 2000);
+    const unsigned concurrency =
+        static_cast<unsigned>(args.get_u64("concurrency", 8));
+    const std::vector<std::string> circuits = split_csv(args.get(
+        "circuits",
+        "paper_example,bbtas,dk27,lion9,train11,tav,s8,beecount,bbara"));
+    require(!circuits.empty(), "loadgen: --circuits must name >= 1 circuit");
+    const std::uint64_t seed = args.get_u64("seed", 20050307);
+    const std::size_t num_sets = args.get_u64("num-sets", 12);
+    const int nmax = static_cast<int>(args.get_u64("nmax", 2));
+    const std::size_t deadline_every = args.get_u64("deadline-every", 97);
+
+    serve::ServerOptions options;
+    // Default budget deliberately below the suite's summed working sets so
+    // the replay exercises eviction and rebuild, not just hits.
+    options.cache_bytes =
+        static_cast<std::size_t>(args.get_u64("cache-bytes", 64u << 10));
+    options.concurrency = concurrency;
+    options.threads = static_cast<unsigned>(args.get_u64("threads", 0));
+
+    const std::vector<PlannedRequest> planned = plan_requests(
+        requests, circuits, seed, num_sets, nmax, deadline_every);
+
+    RunResult run;
+    std::string mode;
+    if (args.has("server")) {
+      mode = "pipe";
+      run = run_pipe(args.get("server", ""), planned, options);
+    } else {
+      mode = "inprocess";
+      serve::Server server(options);
+      run = run_inprocess(server, planned, concurrency);
+    }
+
+    if (args.has("responses")) {
+      std::ofstream out(args.get("responses", ""), std::ios::trunc);
+      require(out.good(), "loadgen: cannot open --responses path");
+      for (const std::string& response : run.responses) out << response << '\n';
+    }
+
+    // --- classify ----------------------------------------------------------
+    std::size_t ok = 0, errors = 0, deadline_exceeded = 0;
+    for (const std::string& response : run.responses) {
+      if (response.find("\"ok\":true") != std::string::npos) {
+        ++ok;
+      } else {
+        ++errors;
+        if (response.find("\"kind\":\"deadline_exceeded\"") !=
+            std::string::npos)
+          ++deadline_exceeded;
+      }
+    }
+
+    // --- validate ----------------------------------------------------------
+    std::size_t validated = 0, mismatches = 0;
+    if (args.has("validate")) {
+      Expectations expectations(options);
+      for (std::size_t i = 0; i < planned.size(); ++i) {
+        const PlannedRequest& request = planned[i];
+        const std::string& response = run.responses[i];
+        const bool succeeded =
+            response.find("\"ok\":true") != std::string::npos;
+        if (!succeeded) {
+          // Only cancellation-family failures are legal in a clean replay,
+          // and only on deadline'd requests; each must name its stage.
+          const bool deadline_family =
+              response.find("\"kind\":\"deadline_exceeded\"") !=
+                  std::string::npos ||
+              response.find("\"kind\":\"cancelled\"") != std::string::npos;
+          if (!request.deadlined || !deadline_family ||
+              response.find("\"stage\":\"\"") != std::string::npos) {
+            ++mismatches;
+            std::cerr << "loadgen: unexpected failure for request " << i + 1
+                      << ": " << response << "\n";
+          }
+          continue;
+        }
+        const std::string& expected =
+            expectations.expected(request, nmax, num_sets);
+        if (response.find("\"result\":" + expected) == std::string::npos) {
+          ++mismatches;
+          std::cerr << "loadgen: result mismatch for request " << i + 1
+                    << " (" << serve::to_string(request.type) << " "
+                    << request.circuit << ")\n";
+        } else {
+          ++validated;
+        }
+      }
+    }
+
+    // --- report ------------------------------------------------------------
+    std::vector<double> sorted = run.latency_ms;
+    std::sort(sorted.begin(), sorted.end());
+    JsonWriter w;
+    w.begin_object();
+    w.key("name").value("serve_loadgen");
+    w.key("mode").value(mode);
+    w.key("requests").value(static_cast<std::uint64_t>(requests));
+    w.key("concurrency").value(concurrency);
+    w.key("cache_bytes").value(static_cast<std::uint64_t>(options.cache_bytes));
+    w.key("circuits").begin_array();
+    for (const std::string& circuit : circuits) w.value(circuit);
+    w.end_array();
+    w.key("ok").value(static_cast<std::uint64_t>(ok));
+    w.key("errors").value(static_cast<std::uint64_t>(errors));
+    w.key("deadline_exceeded")
+        .value(static_cast<std::uint64_t>(deadline_exceeded));
+    w.key("validated").value(static_cast<std::uint64_t>(validated));
+    w.key("mismatches").value(static_cast<std::uint64_t>(mismatches));
+    w.key("wall_seconds").value(run.wall_seconds);
+    w.key("throughput_rps")
+        .value(run.wall_seconds > 0.0
+                   ? static_cast<double>(requests) / run.wall_seconds
+                   : 0.0);
+    w.key("latency_ms")
+        .begin_object()
+        .key("p50")
+        .value(percentile(sorted, 0.50))
+        .key("p90")
+        .value(percentile(sorted, 0.90))
+        .key("p99")
+        .value(percentile(sorted, 0.99))
+        .key("max")
+        .value(sorted.empty() ? 0.0 : sorted.back())
+        .end_object();
+    if (run.server_stats.empty())
+      w.key("server_stats").null();
+    else
+      w.key("server_stats").raw(run.server_stats);
+    w.end_object();
+
+    const std::string out_path = args.get("out", "BENCH_serve.json");
+    write_json_file(out_path, w.str());
+    std::cout << "loadgen: " << requests << " requests (" << ok << " ok, "
+              << errors << " errors, " << deadline_exceeded
+              << " deadline_exceeded) in " << run.wall_seconds << "s -> "
+              << out_path << "\n";
+    if (args.has("validate"))
+      std::cout << "loadgen: validated " << validated << " responses, "
+                << mismatches << " mismatches\n";
+    return mismatches == 0 ? 0 : 1;
+  });
+}

@@ -1,0 +1,58 @@
+// ndetd -- the analysis-as-a-service daemon.
+//
+// Speaks the line-delimited JSON protocol (serve/protocol.hpp) over
+// stdin/stdout by default, or a loopback TCP socket with --listen=PORT.
+// Requests are dispatched concurrently (--concurrency dispatcher threads)
+// onto cached AnalysisSessions bounded by the --cache-bytes LRU budget.
+//
+//   echo '{"id":1,"type":"worst_case","circuit":"bbtas"}' | ndetd
+//
+// --oneshot serves exactly one request and exits with the CLI exit-code
+// convention (124 deadline/cancel, 2 invalid input, 1 internal, 0 ok), so
+// scripts can probe the deadline contract without a client.
+
+#include <iostream>
+#include <string>
+
+#include "serve/server.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ndet;
+  return run_cli([&]() -> int {
+    const CliArgs args(argc, argv,
+                       {"cache-bytes", "concurrency", "threads", "max-inputs",
+                        "listen", "oneshot", "max-line-bytes"});
+    serve::ServerOptions options;
+    options.cache_bytes = static_cast<std::size_t>(
+        args.get_u64("cache-bytes", options.cache_bytes));
+    options.concurrency = static_cast<unsigned>(
+        args.get_u64("concurrency", options.concurrency));
+    options.threads =
+        static_cast<unsigned>(args.get_u64("threads", options.threads));
+    options.max_inputs =
+        static_cast<int>(args.get_u64("max-inputs", options.max_inputs));
+    options.max_line_bytes = static_cast<std::size_t>(
+        args.get_u64("max-line-bytes", options.max_line_bytes));
+
+    serve::Server server(options);
+    if (args.has("oneshot")) {
+      std::string line;
+      if (!std::getline(std::cin, line)) return kExitInvalidInput;
+      std::optional<ErrorKind> failure;
+      std::cout << server.handle_line(line, &failure) << '\n';
+      std::cout.flush();
+      return failure ? exit_code_for(*failure) : 0;
+    }
+    if (args.has("listen")) {
+      const int port = static_cast<int>(args.get_u64("listen", 0));
+      server.serve_tcp(port, [](int bound) {
+        // Advertised on stderr so stdout stays pure protocol.
+        std::cerr << "ndetd: listening on 127.0.0.1:" << bound << std::endl;
+      });
+      return 0;
+    }
+    server.serve_stream(std::cin, std::cout);
+    return 0;
+  });
+}

@@ -1,0 +1,426 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <thread>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/fault_inject.hpp"
+#include "util/json.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ndet::serve {
+
+namespace {
+
+double elapsed_ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+SessionOptions base_options(const ServerOptions& options) {
+  // The outer/inner width split of run_batch: `concurrency` dispatchers
+  // each drive one session at a time, so per-session pools get an even
+  // share of the total budget and the machine is never oversubscribed.
+  SessionOptions base;
+  const unsigned total = resolve_thread_count(options.threads);
+  const unsigned outer = std::max(1u, options.concurrency);
+  base.num_threads = std::max(1u, total / outer);
+  base.max_inputs = options.max_inputs;
+  base.representation = options.representation;
+  return base;
+}
+
+}  // namespace
+
+// --- LatencyHistogram -------------------------------------------------------
+
+void LatencyHistogram::record(double seconds) {
+  const double us = seconds * 1e6;
+  // Bucket i covers (upper(i-1), upper(i)] with upper(i) = sqrt(2)^i us.
+  std::size_t index = 0;
+  if (us > 1.0) {
+    const double exact = std::ceil(2.0 * std::log2(us));
+    index = exact < 0.0 ? 0
+                        : std::min<std::size_t>(kBuckets - 1,
+                                                static_cast<std::size_t>(exact));
+  }
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t LatencyHistogram::count() const {
+  std::uint64_t total = 0;
+  for (const auto& bucket : buckets_)
+    total += bucket.load(std::memory_order_relaxed);
+  return total;
+}
+
+double LatencyHistogram::bucket_upper_ms(std::size_t i) {
+  return std::pow(2.0, static_cast<double>(i) * 0.5) * 1e-3;
+}
+
+double LatencyHistogram::percentile_ms(double p) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  const double target = p * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    if (static_cast<double>(cumulative) >= target) return bucket_upper_ms(i);
+  }
+  return bucket_upper_ms(kBuckets - 1);
+}
+
+// --- Server -----------------------------------------------------------------
+
+Server::Server(ServerOptions options)
+    : options_(options),
+      session_base_(base_options(options)),
+      cache_(options.cache_bytes, session_base_),
+      lifetime_(std::make_shared<CancelToken>()),
+      start_time_(std::chrono::steady_clock::now()) {}
+
+Server::TypeCounters& Server::counters_for(RequestType type) {
+  return by_type_[static_cast<std::size_t>(type)];
+}
+
+std::string Server::handle_line(const std::string& line) {
+  return handle_line(line, nullptr);
+}
+
+std::string Server::handle_line(const std::string& line,
+                                std::optional<ErrorKind>* failure) {
+  const auto start = std::chrono::steady_clock::now();
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  if (failure) failure->reset();
+
+  Request request;
+  try {
+    if (line.size() > options_.max_line_bytes)
+      throw Error(ErrorKind::kInvalidInput,
+                  "request line exceeds " +
+                      std::to_string(options_.max_line_bytes) + " bytes");
+    NDET_INJECT("serve.parse",
+                throw Error(ErrorKind::kInvalidInput,
+                            "injected parse fault (site serve.parse)"));
+    request = parse_request(line);
+  } catch (const Error& e) {
+    malformed_.fetch_add(1, std::memory_order_relaxed);
+    if (failure) *failure = e.kind();
+    return error_response(0, "unknown", e, elapsed_ms_since(start));
+  }
+
+  TypeCounters& counters = counters_for(request.type);
+  counters.requests.fetch_add(1, std::memory_order_relaxed);
+  std::string response;
+  try {
+    response = run_request(request, failure);
+    counters.ok.fetch_add(1, std::memory_order_relaxed);
+  } catch (const Error& e) {
+    counters.errors.fetch_add(1, std::memory_order_relaxed);
+    if (failure) *failure = e.kind();
+    response = error_response(request.id, to_string(request.type), e,
+                              elapsed_ms_since(start));
+  } catch (const std::exception& e) {
+    counters.errors.fetch_add(1, std::memory_order_relaxed);
+    const Error wrapped(ErrorKind::kInternal, e.what());
+    if (failure) *failure = wrapped.kind();
+    response = error_response(request.id, to_string(request.type), wrapped,
+                              elapsed_ms_since(start));
+  }
+  counters.latency.record(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count());
+  return response;
+}
+
+std::string Server::run_request(const Request& request,
+                                std::optional<ErrorKind>* failure) {
+  (void)failure;
+  const auto start = std::chrono::steady_clock::now();
+  check_cancel(lifetime_.get(), "serve.dispatch");
+
+  if (request.type == RequestType::kPing)
+    return ok_response(request, "\"pong\"", elapsed_ms_since(start));
+  if (request.type == RequestType::kStats)
+    return ok_response(request, stats_json(), elapsed_ms_since(start));
+
+  // A fresh token per request: tokens latch and deadlines only tighten, so
+  // cached sessions can never reuse one.  Chaining the lifetime token makes
+  // shutdown() reach in-flight stages.
+  auto token = std::make_shared<CancelToken>();
+  token->chain_parent(lifetime_);
+
+  SessionCache::Lease lease = cache_.acquire(request.key);
+  AnalysisSession& session = lease.session();
+  session.rearm(request.deadline_ms, token);
+  std::string result;
+  try {
+    switch (request.type) {
+      case RequestType::kWorstCase:
+        result = to_json(session.worst_case());
+        break;
+      case RequestType::kAverageCase:
+        result = to_json(session.average_case(request.average));
+        break;
+      case RequestType::kPartition: {
+        JsonWriter w;
+        w.begin_array();
+        for (const ConeReport& report : session.partitioned(request.partition))
+          w.raw(to_json(report));
+        w.end_array();
+        result = w.str();
+        break;
+      }
+      case RequestType::kStats:
+      case RequestType::kPing:
+        break;  // handled above
+    }
+  } catch (...) {
+    // The aborted stage never populated its memo slot, so the session stays
+    // clean for the next request; re-charge whatever the half-run request
+    // did build (the database may be resident) and drop the token so the
+    // cached session never outlives it.
+    try {
+      cache_.update(lease);
+    } catch (...) {
+      // An injected eviction failure must not mask the request's error.
+    }
+    session.rearm(0, nullptr);
+    throw;
+  }
+  cache_.update(lease);
+  const SessionStats stats = session.stats();
+  session.rearm(0, nullptr);
+  return ok_response(request, result, stats, lease.hit(),
+                     elapsed_ms_since(start));
+}
+
+std::string Server::stats_json() const {
+  const SessionCacheStats cache_stats = cache_.stats();
+  JsonWriter w;
+  w.begin_object();
+  w.key("uptime_seconds")
+      .value(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           start_time_)
+                 .count());
+  w.key("accepted").value(accepted_.load(std::memory_order_relaxed));
+  w.key("malformed").value(malformed_.load(std::memory_order_relaxed));
+  w.key("requests").begin_object();
+  for (std::size_t i = 0; i < by_type_.size(); ++i) {
+    const TypeCounters& counters = by_type_[i];
+    w.key(to_string(static_cast<RequestType>(i))).begin_object();
+    w.key("count").value(counters.requests.load(std::memory_order_relaxed));
+    w.key("ok").value(counters.ok.load(std::memory_order_relaxed));
+    w.key("errors").value(counters.errors.load(std::memory_order_relaxed));
+    w.key("latency_ms")
+        .begin_object()
+        .key("p50")
+        .value(counters.latency.percentile_ms(0.50))
+        .key("p90")
+        .value(counters.latency.percentile_ms(0.90))
+        .key("p99")
+        .value(counters.latency.percentile_ms(0.99))
+        .end_object();
+    w.end_object();
+  }
+  w.end_object();
+  w.key("cache").begin_object();
+  w.key("hits").value(cache_stats.hits);
+  w.key("misses").value(cache_stats.misses);
+  w.key("evictions").value(cache_stats.evictions);
+  w.key("bytes").value(static_cast<std::uint64_t>(cache_stats.bytes));
+  w.key("entries").value(static_cast<std::uint64_t>(cache_stats.entries));
+  w.key("budget_bytes")
+      .value(static_cast<std::uint64_t>(cache_stats.budget_bytes));
+  w.end_object();
+  w.key("threads")
+      .begin_object()
+      .key("concurrency")
+      .value(options_.concurrency)
+      .key("session_threads")
+      .value(session_base_.num_threads)
+      .end_object();
+  w.end_object();
+  return w.str();
+}
+
+void Server::shutdown() {
+  lifetime_->cancel("server shutdown");
+  const int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+}
+
+namespace {
+
+/// Bounded MPMC line queue for the acceptor -> dispatcher handoff.
+class LineQueue {
+ public:
+  explicit LineQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  void push(std::string line) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock,
+                   [this] { return lines_.size() < capacity_ || closed_; });
+    if (closed_) return;
+    lines_.push_back(std::move(line));
+    not_empty_.notify_one();
+  }
+
+  bool pop(std::string& line) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return !lines_.empty() || closed_; });
+    if (lines_.empty()) return false;
+    line = std::move(lines_.front());
+    lines_.pop_front();
+    not_full_.notify_one();
+    return true;
+  }
+
+  void close() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+ private:
+  const std::size_t capacity_;
+  std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<std::string> lines_;
+  bool closed_ = false;
+};
+
+}  // namespace
+
+void Server::serve_stream(std::istream& in, std::ostream& out) {
+  const unsigned dispatchers = std::max(1u, options_.concurrency);
+  LineQueue queue(4 * dispatchers);
+  std::mutex out_mutex;
+
+  auto emit = [&](const std::string& response) {
+    const std::lock_guard<std::mutex> lock(out_mutex);
+    out << response << '\n';
+    out.flush();  // responses must reach the pipe before the next request
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(dispatchers);
+  for (unsigned i = 0; i < dispatchers; ++i) {
+    workers.emplace_back([&] {
+      std::string line;
+      while (queue.pop(line)) emit(handle_line(line));
+    });
+  }
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;  // blank lines are keepalives, not requests
+    bool dropped = false;
+    NDET_INJECT("serve.accept", {
+      // Simulated failed read: the request is lost at the acceptor; the
+      // client sees a typed internal error instead of silence.
+      const Error injected(ErrorKind::kInternal,
+                           "injected accept fault (site serve.accept)");
+      emit(error_response(0, "unknown", injected, 0.0));
+      dropped = true;
+    });
+    if (dropped) continue;
+    queue.push(std::move(line));
+    if (is_cancelled(lifetime_.get())) break;
+  }
+  queue.close();
+  for (std::thread& worker : workers) worker.join();
+}
+
+void Server::serve_tcp(int port, const std::function<void(int)>& ready) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  require(fd >= 0, "serve_tcp: socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    throw Error(ErrorKind::kResourceExhausted,
+                "serve_tcp: cannot bind 127.0.0.1:" + std::to_string(port));
+  }
+  if (::listen(fd, 64) != 0) {
+    ::close(fd);
+    throw Error(ErrorKind::kResourceExhausted, "serve_tcp: listen() failed");
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  listen_fd_.store(fd, std::memory_order_release);
+  if (ready) ready(static_cast<int>(ntohs(bound.sin_port)));
+
+  std::vector<std::thread> connections;
+  while (true) {
+    const int client = ::accept(fd, nullptr, nullptr);
+    if (client < 0) break;  // shutdown() closed the listener
+    if (is_cancelled(lifetime_.get())) {
+      ::close(client);
+      break;
+    }
+    bool dropped = false;
+    NDET_INJECT("serve.accept", {
+      ::close(client);  // simulated accept failure: connection dropped
+      dropped = true;
+    });
+    if (dropped) continue;
+    connections.emplace_back([this, client] {
+      std::string buffer;
+      char chunk[4096];
+      while (true) {
+        const ssize_t got = ::read(client, chunk, sizeof chunk);
+        if (got <= 0) break;
+        buffer.append(chunk, static_cast<std::size_t>(got));
+        std::size_t newline;
+        while ((newline = buffer.find('\n')) != std::string::npos) {
+          const std::string line = buffer.substr(0, newline);
+          buffer.erase(0, newline + 1);
+          if (line.empty()) continue;
+          const std::string response = handle_line(line) + "\n";
+          std::size_t written = 0;
+          while (written < response.size()) {
+            const ssize_t n = ::write(client, response.data() + written,
+                                      response.size() - written);
+            if (n <= 0) break;
+            written += static_cast<std::size_t>(n);
+          }
+        }
+        if (is_cancelled(lifetime_.get())) break;
+      }
+      ::close(client);
+    });
+  }
+  for (std::thread& connection : connections) connection.join();
+  // shutdown() usually closed the fd already; close again is harmless only
+  // if we still own it.
+  const int owned = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (owned >= 0) ::close(owned);
+}
+
+}  // namespace ndet::serve

@@ -1,0 +1,129 @@
+// server.hpp -- ndetd's request engine: admission, dispatch, telemetry.
+//
+// Threading model (documented in DESIGN.md "Analysis as a service"):
+//
+//   acceptor --> bounded queue --> dispatchers --> session cache --> pool
+//
+// One ACCEPTOR thread reads request lines (stdin or a TCP connection) and
+// enqueues them; `concurrency` DISPATCHER threads drain the queue, each
+// running handle_line() -- parse, lease the circuit's cached session, run
+// the requested stage, respond -- and write responses under one output
+// mutex (ids let clients match pipelined responses out of order).  Requests
+// for different circuits run concurrently; requests for the same cache key
+// serialize on the entry's lease.  The thread-width budget is split so the
+// machine is never oversubscribed: each cached session's fork-join pool is
+// `threads / concurrency` wide (the same outer/inner split run_batch uses).
+//
+// Per-request deadlines arm a FRESH CancelToken chained under the server's
+// lifetime token (shutdown() cancels in-flight work), and the session is
+// rearm()ed with it for the duration of the lease.  Failures map onto the
+// typed error taxonomy in the response envelope; an aborted stage never
+// populates its memo slot, so a deadline'd request can never poison the
+// cache -- the next request for the key simply reruns the stage.
+//
+// handle_line() is synchronous and thread-safe, so embedders (tests, the
+// in-process load generator) can drive the server without any I/O plumbing.
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "serve/protocol.hpp"
+#include "serve/session_cache.hpp"
+
+namespace ndet::serve {
+
+/// Log-bucketed latency histogram (lock-free record, ~1.47x bucket growth
+/// from 1us).  Percentiles report the upper edge of the covering bucket.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void record(double seconds);
+  std::uint64_t count() const;
+  /// Upper edge, in milliseconds, of the bucket containing the p-quantile
+  /// (p in [0,1]); 0 when empty.
+  double percentile_ms(double p) const;
+  /// Upper edge of bucket i in milliseconds (for the stats export).
+  static double bucket_upper_ms(std::size_t i);
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+struct ServerOptions {
+  std::size_t cache_bytes = 64u << 20;  ///< LRU byte budget (0 = unbounded)
+  unsigned concurrency = 4;             ///< dispatcher threads
+  unsigned threads = 0;  ///< total pool-width budget; 0 = all hardware
+  int max_inputs = 20;   ///< default per-request exhaustive budget
+  SetRepresentation representation = SetRepresentation::kAdaptive;
+  std::size_t max_line_bytes = 1u << 20;  ///< admission cap per request line
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options = {});
+
+  /// Handles one request line end to end and returns the response line
+  /// (without trailing newline).  Never throws: every failure becomes an
+  /// error response.  Thread-safe.
+  std::string handle_line(const std::string& line);
+
+  /// Like handle_line, also reporting the error kind of a failed request
+  /// (disengaged on success) -- the --oneshot exit-code path.
+  std::string handle_line(const std::string& line,
+                          std::optional<ErrorKind>* failure);
+
+  /// Acceptor + dispatcher loop over a stream pair; returns at EOF after
+  /// all responses are flushed.
+  void serve_stream(std::istream& in, std::ostream& out);
+
+  /// TCP listener on 127.0.0.1:`port` (0 = ephemeral); `ready` is invoked
+  /// with the bound port before accepting.  One connection handler thread
+  /// per client, each running the line loop.  Returns after shutdown().
+  void serve_tcp(int port, const std::function<void(int)>& ready = {});
+
+  /// Cancels the lifetime token (in-flight requests abort as Cancelled) and
+  /// wakes the accept loop.
+  void shutdown();
+
+  /// The server-wide counters as a JSON object (the "stats" response body).
+  std::string stats_json() const;
+
+  SessionCache& cache() { return cache_; }
+  const std::shared_ptr<CancelToken>& lifetime_token() const {
+    return lifetime_;
+  }
+
+ private:
+  struct TypeCounters {
+    std::atomic<std::uint64_t> requests{0};
+    std::atomic<std::uint64_t> ok{0};
+    std::atomic<std::uint64_t> errors{0};
+    LatencyHistogram latency;
+  };
+
+  std::string run_request(const Request& request,
+                          std::optional<ErrorKind>* failure);
+  TypeCounters& counters_for(RequestType type);
+
+  ServerOptions options_;
+  SessionOptions session_base_;
+  SessionCache cache_;
+  std::shared_ptr<CancelToken> lifetime_;
+  std::atomic<std::uint64_t> malformed_{0};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::array<TypeCounters, 5> by_type_{};  ///< indexed by RequestType
+  std::atomic<int> listen_fd_{-1};
+  std::chrono::steady_clock::time_point start_time_;
+};
+
+}  // namespace ndet::serve

@@ -1,0 +1,159 @@
+// session_cache.hpp -- the daemon's bounded, byte-accounted cross-circuit
+// LRU of analysis sessions.
+//
+// A long-lived server cannot let sessions live as long as the caller: every
+// circuit it has ever seen would pin its frozen DetectionDb forever.  The
+// cache owns one AnalysisSession per distinct (circuit, result-relevant
+// SessionOptions) key -- max_inputs and representation change results and
+// storage, thread width and deadlines do not, so only the former key the
+// cache -- and charges each entry EXACTLY its database's
+// set_memory_bytes(), the same accounting the session facade reports.
+// When the charged total exceeds the byte budget, least-recently-used
+// unpinned entries are evicted; a later request for the same key rebuilds
+// the session and, because every stage is a deterministic function of
+// (circuit, options), reproduces bit-identical results.
+//
+// Concurrency: the cache map and counters sit behind one mutex that is
+// never held across analysis work.  Each entry carries its own mutex; a
+// Lease holds it for the duration of one request, so concurrent requests
+// for the SAME key serialize on the entry (sessions are externally
+// synchronized) while requests for different keys run fully in parallel.
+// Leases also pin their entry: an entry evicted while leased just leaves
+// the map (the shared_ptr keeps the session alive until the lease drops),
+// so eviction can never invalidate an in-flight request.
+//
+// Charging happens at update() time, after a request's stages ran -- the
+// database is built lazily, so the admission-time charge of a fresh entry
+// is zero and the real bytes land when the lease is updated.  update() is
+// an explicit call (not the Lease destructor) because eviction carries a
+// fault-injection site ("serve.cache_evict") that may throw, and
+// destructors must not.  See DESIGN.md "Analysis as a service".
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/session.hpp"
+
+namespace ndet::serve {
+
+/// The result-relevant session key: two requests share a cached session iff
+/// all three fields match (thread width and deadlines never change results
+/// and are deliberately excluded).
+struct CacheKey {
+  std::string circuit;
+  int max_inputs = 20;
+  SetRepresentation representation = SetRepresentation::kAdaptive;
+
+  bool operator==(const CacheKey&) const = default;
+  bool operator<(const CacheKey& other) const {
+    if (circuit != other.circuit) return circuit < other.circuit;
+    if (max_inputs != other.max_inputs) return max_inputs < other.max_inputs;
+    return static_cast<int>(representation) <
+           static_cast<int>(other.representation);
+  }
+};
+
+/// Cache telemetry; every counter is cumulative since construction except
+/// bytes/entries, which are the current residency.
+struct SessionCacheStats {
+  std::uint64_t hits = 0;        ///< acquire served an existing entry
+  std::uint64_t misses = 0;      ///< acquire admitted a fresh entry
+  std::uint64_t evictions = 0;   ///< entries dropped under byte pressure
+  std::size_t bytes = 0;         ///< charged total (== sum set_memory_bytes)
+  std::size_t entries = 0;       ///< resident entries
+  std::size_t budget_bytes = 0;  ///< the configured budget
+};
+
+class SessionCache {
+ public:
+  /// `budget_bytes` bounds the charged total (0 = unbounded); `base` is the
+  /// option template every cached session is constructed from (the key
+  /// fields override its max_inputs/representation per request).
+  explicit SessionCache(std::size_t budget_bytes, SessionOptions base = {});
+
+  SessionCache(const SessionCache&) = delete;
+  SessionCache& operator=(const SessionCache&) = delete;
+
+  class Lease;
+
+  /// Returns a lease on the key's session, admitting (and constructing) it
+  /// on a miss.  Blocks while another lease holds the same entry.  Throws
+  /// Error{kInvalidInput} when the circuit cannot be resolved (the entry is
+  /// not admitted).
+  Lease acquire(const CacheKey& key);
+
+  /// Re-charges the leased entry to its session's current
+  /// set_memory_bytes() and evicts least-recently-used unpinned entries
+  /// until the charged total fits the budget again.  Call after a request's
+  /// stages ran (success or abort -- a half-run request may still have
+  /// built the database).  Fault-injection site "serve.cache_evict" fires
+  /// here as Error{kResourceExhausted}.
+  void update(const Lease& lease);
+
+  /// Drops every unpinned entry (counted as evictions).
+  void flush();
+
+  SessionCacheStats stats() const;
+
+  /// Resident circuit names in least-recently-used-first order (tests and
+  /// the stats endpoint).
+  std::vector<std::string> resident_lru_order() const;
+
+  /// True when the key currently has a resident entry.
+  bool contains(const CacheKey& key) const;
+
+ private:
+  struct Entry {
+    CacheKey key;
+    std::mutex mutex;               ///< serializes requests on the session
+    std::unique_ptr<AnalysisSession> session;  ///< built under mutex on admit
+    std::size_t charged = 0;        ///< bytes currently billed to the budget
+    std::uint64_t last_use = 0;     ///< recency stamp (monotone counter)
+    int pins = 0;                   ///< live leases (guarded by cache mutex)
+    bool resident = true;           ///< false once evicted from the map
+  };
+
+  void evict_to_budget_locked();
+
+  const std::size_t budget_bytes_;
+  const SessionOptions base_;
+
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<Entry>> entries_;  ///< resident set
+  std::uint64_t use_counter_ = 0;
+  SessionCacheStats stats_;
+
+ public:
+  /// RAII request-scoped handle: holds the entry's mutex and pin.  Movable,
+  /// not copyable.  The destructor releases lock and pin only; byte
+  /// accounting is the explicit update() call.
+  class Lease {
+   public:
+    Lease(Lease&&) noexcept = default;
+    Lease& operator=(Lease&&) = delete;
+    ~Lease();
+
+    AnalysisSession& session() const { return *entry_->session; }
+    bool hit() const { return hit_; }
+    const CacheKey& key() const { return entry_->key; }
+
+   private:
+    friend class SessionCache;
+    Lease(SessionCache* cache, std::shared_ptr<Entry> entry, bool hit)
+        : cache_(cache), entry_(std::move(entry)), hit_(hit),
+          lock_(entry_->mutex) {}
+
+    SessionCache* cache_;
+    std::shared_ptr<Entry> entry_;
+    bool hit_;
+    std::unique_lock<std::mutex> lock_;
+  };
+};
+
+}  // namespace ndet::serve

@@ -50,15 +50,36 @@ void CancelToken::set_deadline(std::chrono::steady_clock::time_point deadline) {
   }
 }
 
+void CancelToken::chain_parent(std::shared_ptr<const CancelToken> parent) {
+  parent_ = std::move(parent);
+}
+
 bool CancelToken::cancelled() const {
   if (state_.load(std::memory_order_relaxed) != kLive) return true;
   const std::int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
-  if (deadline == kNoDeadline || now_ns() < deadline) return false;
-  // Latch the expiry so the kind is sticky and later polls are one load.
-  int expected = kLive;
-  state_.compare_exchange_strong(expected, kByDeadline,
-                                 std::memory_order_relaxed);
-  return true;
+  if (deadline != kNoDeadline && now_ns() >= deadline) {
+    // Latch the expiry so the kind is sticky and later polls are one load.
+    int expected = kLive;
+    state_.compare_exchange_strong(expected, kByDeadline,
+                                   std::memory_order_relaxed);
+    return true;
+  }
+  if (parent_ != nullptr && parent_->cancelled()) {
+    // Latch the parent's state so kind()/reason() tell the parent's story
+    // (first writer wins; a concurrent own-cancel keeps its own reason).
+    {
+      const std::lock_guard<std::mutex> lock(reason_mutex_);
+      if (reason_.empty()) reason_ = parent_->reason();
+    }
+    int expected = kLive;
+    state_.compare_exchange_strong(
+        expected,
+        parent_->kind() == ErrorKind::kDeadlineExceeded ? kByDeadline
+                                                        : kByCaller,
+        std::memory_order_relaxed);
+    return true;
+  }
+  return false;
 }
 
 ErrorKind CancelToken::kind() const {

@@ -30,6 +30,7 @@
 #include <chrono>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <string>
@@ -111,6 +112,14 @@ class CancelToken {
   /// Absolute variant of set_deadline_after_ms.
   void set_deadline(std::chrono::steady_clock::time_point deadline);
 
+  /// Chains a parent token: once the parent fires, this token latches with
+  /// the parent's kind and reason on the next poll, so a batch- or
+  /// server-wide cancel propagates into every per-request token without the
+  /// requests sharing deadline state.  Must be called before the token is
+  /// shared with pollers (the parent pointer itself is not synchronized);
+  /// the parent is held alive by the shared_ptr.  One parent per token.
+  void chain_parent(std::shared_ptr<const CancelToken> parent);
+
   bool has_deadline() const {
     return deadline_ns_.load(std::memory_order_relaxed) != kNoDeadline;
   }
@@ -145,7 +154,8 @@ class CancelToken {
   mutable std::atomic<int> state_{kLive};
   mutable std::atomic<std::int64_t> deadline_ns_{kNoDeadline};
   mutable std::mutex reason_mutex_;
-  std::string reason_;
+  mutable std::string reason_;
+  std::shared_ptr<const CancelToken> parent_;  ///< set-once, pre-sharing
 };
 
 /// Poll helper for the pervasive `const CancelToken*` plumbing: false on the

@@ -27,6 +27,12 @@
 //                                Error{kResourceExhausted}
 //   pair_kernels.pack         -- tile packing fails with
 //                                Error{kResourceExhausted}
+//   serve.accept              -- the daemon's dispatcher drops a request
+//                                line and emits an internal-error response
+//   serve.parse               -- request parsing fails with
+//                                Error{kInvalidInput}
+//   serve.cache_evict         -- session-cache eviction fails with
+//                                Error{kResourceExhausted}
 
 #pragma once
 

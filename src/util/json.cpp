@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 
 #include "util/check.hpp"
 
@@ -140,5 +141,418 @@ void write_json_file(const std::string& path, std::string_view json) {
   out.flush();
   require(out.good(), "write_json_file: write to '" + path + "' failed");
 }
+
+namespace json {
+
+Value Value::make_null() { return Value(); }
+
+Value Value::make_bool(bool b) {
+  Value v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::make_double(double d) {
+  Value v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = d;
+  return v;
+}
+
+Value Value::make_int(std::int64_t i) {
+  Value v;
+  v.kind_ = Kind::kNumber;
+  v.exact_ = true;
+  v.negative_ = i < 0;
+  v.int_ = i;
+  if (i >= 0) v.uint_ = static_cast<std::uint64_t>(i);
+  v.number_ = static_cast<double>(i);
+  return v;
+}
+
+Value Value::make_uint(std::uint64_t u) {
+  Value v;
+  v.kind_ = Kind::kNumber;
+  v.exact_ = true;
+  v.uint_ = u;
+  if (u <= static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max()))
+    v.int_ = static_cast<std::int64_t>(u);
+  else
+    v.negative_ = false;
+  v.number_ = static_cast<double>(u);
+  return v;
+}
+
+Value Value::make_string(std::string s) {
+  Value v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+Value Value::make_array(Array a) {
+  Value v;
+  v.kind_ = Kind::kArray;
+  v.array_ = std::make_shared<Array>(std::move(a));
+  return v;
+}
+
+Value Value::make_object(Object o) {
+  Value v;
+  v.kind_ = Kind::kObject;
+  v.object_ = std::make_shared<Object>(std::move(o));
+  return v;
+}
+
+namespace {
+
+[[noreturn]] void kind_error(const char* wanted, Value::Kind got) {
+  const char* names[] = {"null", "bool", "number", "string", "array",
+                         "object"};
+  throw Error(ErrorKind::kInvalidInput,
+              std::string("json: expected ") + wanted + ", got " +
+                  names[static_cast<int>(got)]);
+}
+
+}  // namespace
+
+bool Value::as_bool() const {
+  if (kind_ != Kind::kBool) kind_error("bool", kind_);
+  return bool_;
+}
+
+double Value::as_double() const {
+  if (kind_ != Kind::kNumber) kind_error("number", kind_);
+  return number_;
+}
+
+std::int64_t Value::as_int64() const {
+  if (kind_ != Kind::kNumber) kind_error("number", kind_);
+  if (!exact_)
+    throw Error(ErrorKind::kInvalidInput,
+                "json: number is not an exact integer");
+  if (!negative_ &&
+      uint_ > static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max()))
+    throw Error(ErrorKind::kInvalidInput, "json: integer exceeds int64 range");
+  return int_;
+}
+
+std::uint64_t Value::as_uint64() const {
+  if (kind_ != Kind::kNumber) kind_error("number", kind_);
+  if (!exact_)
+    throw Error(ErrorKind::kInvalidInput,
+                "json: number is not an exact integer");
+  if (negative_)
+    throw Error(ErrorKind::kInvalidInput,
+                "json: negative integer where unsigned expected");
+  return uint_;
+}
+
+const std::string& Value::as_string() const {
+  if (kind_ != Kind::kString) kind_error("string", kind_);
+  return string_;
+}
+
+const Value::Array& Value::as_array() const {
+  if (kind_ != Kind::kArray) kind_error("array", kind_);
+  return *array_;
+}
+
+const Value::Object& Value::as_object() const {
+  if (kind_ != Kind::kObject) kind_error("object", kind_);
+  return *object_;
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const Member& member : *object_)
+    if (member.first == key) return &member.second;
+  return nullptr;
+}
+
+const Value& Value::at(std::string_view key) const {
+  const Value* found = find(key);
+  if (found == nullptr)
+    throw Error(ErrorKind::kInvalidInput,
+                "json: missing required key '" + std::string(key) + "'");
+  return *found;
+}
+
+namespace {
+
+/// Strict recursive-descent parser over one string_view.  Tracks the
+/// 1-based line/column of the cursor for error context; nesting is capped
+/// so adversarial input cannot overflow the stack.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value run() {
+    skip_ws();
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing garbage after JSON value");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw Error(ErrorKind::kInvalidInput,
+                "json parse error: " + message + " (line " +
+                    std::to_string(line_) + ", column " +
+                    std::to_string(column_) + ")");
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  char take() {
+    const char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  void expect(char c, const char* what) {
+    if (eof() || peek() != c) fail(std::string("expected ") + what);
+    take();
+  }
+
+  void skip_ws() {
+    while (!eof()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') return;
+      take();
+    }
+  }
+
+  Value parse_value() {
+    if (++depth_ > kMaxDepth) fail("nesting too deep");
+    if (eof()) fail("unexpected end of input");
+    Value v;
+    switch (peek()) {
+      case '{': v = parse_object(); break;
+      case '[': v = parse_array(); break;
+      case '"': v = Value::make_string(parse_string()); break;
+      case 't': parse_literal("true"); v = Value::make_bool(true); break;
+      case 'f': parse_literal("false"); v = Value::make_bool(false); break;
+      case 'n': parse_literal("null"); v = Value::make_null(); break;
+      default: v = parse_number(); break;
+    }
+    --depth_;
+    return v;
+  }
+
+  void parse_literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (eof() || peek() != *p) fail(std::string("invalid literal (expected '") +
+                                      word + "')");
+      take();
+    }
+  }
+
+  Value parse_object() {
+    take();  // '{'
+    Value::Object members;
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      take();
+      return Value::make_object(std::move(members));
+    }
+    while (true) {
+      skip_ws();
+      if (eof() || peek() != '"') fail("expected object key string");
+      std::string key = parse_string();
+      skip_ws();
+      expect(':', "':' after object key");
+      skip_ws();
+      members.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      if (eof()) fail("unterminated object");
+      if (peek() == ',') {
+        take();
+        continue;
+      }
+      expect('}', "',' or '}' in object");
+      return Value::make_object(std::move(members));
+    }
+  }
+
+  Value parse_array() {
+    take();  // '['
+    Value::Array elements;
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      take();
+      return Value::make_array(std::move(elements));
+    }
+    while (true) {
+      skip_ws();
+      elements.push_back(parse_value());
+      skip_ws();
+      if (eof()) fail("unterminated array");
+      if (peek() == ',') {
+        take();
+        continue;
+      }
+      expect(']', "',' or ']' in array");
+      return Value::make_array(std::move(elements));
+    }
+  }
+
+  unsigned parse_hex4() {
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (eof()) fail("unterminated \\u escape");
+      const char c = take();
+      code <<= 4;
+      if (c >= '0' && c <= '9') code |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') code |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') code |= static_cast<unsigned>(c - 'A' + 10);
+      else fail("invalid hex digit in \\u escape");
+    }
+    return code;
+  }
+
+  static void append_utf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  std::string parse_string() {
+    take();  // '"'
+    std::string out;
+    while (true) {
+      if (eof()) fail("unterminated string");
+      const char c = take();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("raw control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (eof()) fail("unterminated escape");
+      const char e = take();
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned code = parse_hex4();
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // High surrogate: require the low half.
+            if (eof() || peek() != '\\') fail("unpaired surrogate");
+            take();
+            if (eof() || peek() != 'u') fail("unpaired surrogate");
+            take();
+            const unsigned low = parse_hex4();
+            if (low < 0xDC00 || low > 0xDFFF) fail("invalid low surrogate");
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            fail("unpaired low surrogate");
+          }
+          append_utf8(out, code);
+          break;
+        }
+        default: fail("invalid escape character");
+      }
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    bool negative = false;
+    if (!eof() && peek() == '-') {
+      negative = true;
+      take();
+    }
+    if (eof() || peek() < '0' || peek() > '9') fail("invalid value");
+    if (peek() == '0') {
+      take();
+      if (!eof() && peek() >= '0' && peek() <= '9')
+        fail("leading zero in number");
+    } else {
+      while (!eof() && peek() >= '0' && peek() <= '9') take();
+    }
+    bool integral = true;
+    if (!eof() && peek() == '.') {
+      integral = false;
+      take();
+      if (eof() || peek() < '0' || peek() > '9')
+        fail("expected digit after decimal point");
+      while (!eof() && peek() >= '0' && peek() <= '9') take();
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      integral = false;
+      take();
+      if (!eof() && (peek() == '+' || peek() == '-')) take();
+      if (eof() || peek() < '0' || peek() > '9')
+        fail("expected digit in exponent");
+      while (!eof() && peek() >= '0' && peek() <= '9') take();
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (integral) {
+      // Keep 64-bit integers exact (seeds span the full uint64 range); fall
+      // back to double only when the literal overflows both widths.
+      if (negative) {
+        std::int64_t i = 0;
+        const auto [ptr, ec] =
+            std::from_chars(token.data(), token.data() + token.size(), i);
+        if (ec == std::errc{} && ptr == token.data() + token.size())
+          return Value::make_int(i);
+      } else {
+        std::uint64_t u = 0;
+        const auto [ptr, ec] =
+            std::from_chars(token.data(), token.data() + token.size(), u);
+        if (ec == std::errc{} && ptr == token.data() + token.size())
+          return Value::make_uint(u);
+      }
+    }
+    double d = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), d);
+    if (ec != std::errc{} || ptr != token.data() + token.size())
+      fail("invalid number");
+    return Value::make_double(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t column_ = 1;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Value parse(std::string_view text) { return Parser(text).run(); }
+
+}  // namespace json
 
 }  // namespace ndet

@@ -1,19 +1,32 @@
-// json.hpp -- a small hand-rolled JSON writer.
+// json.hpp -- a small hand-rolled JSON writer and strict reader.
 //
 // The serving layer exports analysis results as JSON (--json= on the report
-// CLIs, the batch driver's machine-readable rows) without taking a
-// dependency: JsonWriter is a push-style builder that tracks the container
-// stack, inserts commas, escapes strings, and formats doubles with
-// round-trip precision.  Output is compact (no whitespace) and valid JSON
-// by construction as long as begin/end calls are balanced -- str() checks
-// that balance.  Non-finite doubles have no JSON spelling and are emitted
-// as null.
+// CLIs, the batch driver's machine-readable rows, the ndetd responses)
+// without taking a dependency: JsonWriter is a push-style builder that
+// tracks the container stack, inserts commas, escapes strings, and formats
+// doubles with round-trip precision.  Output is compact (no whitespace) and
+// valid JSON by construction as long as begin/end calls are balanced --
+// str() checks that balance.  Non-finite doubles have no JSON spelling and
+// are emitted as null.
+//
+// json::parse is the matching reader: a strict recursive-descent parser for
+// the daemon's line-delimited request protocol.  It accepts exactly one
+// JSON value (objects, arrays, strings with full escape handling, numbers,
+// booleans, null) and rejects everything else -- trailing garbage,
+// unterminated containers, bare words, control characters in strings --
+// with an Error{kInvalidInput} carrying the 1-based line and column of the
+// offending byte, so a malformed request line produces an actionable
+// response instead of a crash or a silent misparse.  Integers that fit
+// int64/uint64 are kept exact (seeds use the full 64-bit range); every
+// number is also readable as a double.
 
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace ndet {
@@ -57,5 +70,74 @@ class JsonWriter {
 /// Writes `json` to `path` with a trailing newline; throws contract_error on
 /// I/O failure.
 void write_json_file(const std::string& path, std::string_view json);
+
+namespace json {
+
+/// One parsed JSON value.  Object members keep their source order (the
+/// writer emits ordered objects, so ordered storage round-trips; lookup is
+/// linear, which is right for the protocol's handful-of-keys objects).
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Array = std::vector<Value>;
+  using Member = std::pair<std::string, Value>;
+  using Object = std::vector<Member>;
+
+  Value() = default;  ///< null
+  static Value make_null();
+  static Value make_bool(bool b);
+  static Value make_double(double d);
+  static Value make_int(std::int64_t i);
+  static Value make_uint(std::uint64_t u);
+  static Value make_string(std::string s);
+  static Value make_array(Array a);
+  static Value make_object(Object o);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; each throws Error{kInvalidInput} on a kind mismatch
+  /// (the daemon surfaces that as a malformed-request response).
+  bool as_bool() const;
+  double as_double() const;        ///< any number
+  std::int64_t as_int64() const;   ///< exact integers within int64 range
+  std::uint64_t as_uint64() const; ///< exact non-negative integers
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object member lookup; null when absent (or when not an object).
+  const Value* find(std::string_view key) const;
+  /// Object member lookup; throws Error{kInvalidInput} when absent.
+  const Value& at(std::string_view key) const;
+
+  /// True when the number was written as an integer that fits uint64/int64
+  /// (as_uint64/as_int64 are exact, not a double round-trip).
+  bool is_exact_integer() const { return kind_ == Kind::kNumber && exact_; }
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  bool exact_ = false;      ///< number parsed as an exact integer
+  bool negative_ = false;   ///< exact integer is int64-signed
+  double number_ = 0.0;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  std::string string_;
+  std::shared_ptr<Array> array_;    ///< shared: Value stays cheaply copyable
+  std::shared_ptr<Object> object_;
+};
+
+/// Parses exactly one JSON value from `text` (surrounding whitespace
+/// allowed, nothing else).  Throws Error{kInvalidInput} with "line L,
+/// column C" context on any syntax error or trailing garbage.
+Value parse(std::string_view text);
+
+}  // namespace json
 
 }  // namespace ndet

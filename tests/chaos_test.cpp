@@ -1,8 +1,9 @@
-// chaos_test.cpp -- hammers run_batch with random cancellations, deadlines
-// and (when the harness is compiled in) injected faults, asserting the
-// robustness contract: every failure surfaces as a typed ndet::Error with a
-// stage attribution, nothing hangs, and nothing leaks (the suite runs under
-// ASan and TSan in CI).
+// chaos_test.cpp -- hammers run_batch and the serving daemon with random
+// cancellations, deadlines, malformed request lines and (when the harness
+// is compiled in) injected faults, asserting the robustness contract: every
+// failure surfaces as a typed ndet::Error with a stage attribution (or, for
+// the daemon, a well-formed error response), nothing hangs, and nothing
+// leaks (the suite runs under ASan and TSan in CI).
 //
 // NDET_CHAOS_REQUESTS scales the request count (default 200; CI's TSan leg
 // lowers it).  The schedule is a pure function of the fixed seed, so a
@@ -10,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <memory>
@@ -19,8 +21,10 @@
 #include <vector>
 
 #include "core/session.hpp"
+#include "serve/server.hpp"
 #include "util/cancel.hpp"
 #include "util/fault_inject.hpp"
+#include "util/json.hpp"
 
 namespace ndet {
 namespace {
@@ -117,6 +121,103 @@ TEST(Chaos, RandomCancellationsAndDeadlines) {
   std::size_t submitted = 0;
   while (submitted < target) submitted += run_round(rng, false);
   EXPECT_GE(submitted, target);
+}
+
+// --- daemon chaos -----------------------------------------------------------
+
+/// One deterministic request line for the daemon hammer: mostly well-formed
+/// mixed analysis requests, some with 1ms deadlines, some malformed.
+std::string chaos_line(std::mt19937& rng, std::uint64_t id) {
+  std::uniform_int_distribution<std::size_t> which(0, 2);
+  const int shape = std::uniform_int_distribution<int>(0, 9)(rng);
+  if (shape == 0) return "{\"id\":" + std::to_string(id) + ",\"type\":";
+  if (shape == 1) return "this is not json";
+  if (shape == 2)
+    return "{\"id\":" + std::to_string(id) +
+           ",\"type\":\"worst_case\",\"circuit\":\"no_such_circuit\"}";
+  std::string line = "{\"id\":" + std::to_string(id) + ",\"type\":";
+  const int kind = std::uniform_int_distribution<int>(0, 2)(rng);
+  if (kind == 0) {
+    line += "\"worst_case\"";
+  } else if (kind == 1) {
+    line += "\"average_case\",\"nmax\":2,\"num_sets\":4,\"seed\":" +
+            std::to_string(rng() % 8);
+  } else {
+    line += "\"partition\",\"budget\":8";
+  }
+  line += ",\"circuit\":\"" + std::string(kCircuits[which(rng)]) + "\"";
+  if (std::uniform_int_distribution<int>(0, 3)(rng) == 0)
+    line += ",\"deadline_ms\":1";
+  line += "}";
+  return line;
+}
+
+/// Hammers a serve::Server from several client threads with random
+/// deadlines, malformed lines and (when armed) injected faults.  The
+/// contract: handle_line never throws, every response is parseable JSON
+/// echoing the id, and a tiny cache budget keeps eviction churning the
+/// whole time without leaks (the suite runs under ASan and TSan).
+void hammer_server(std::uint32_t seed, bool expect_eviction) {
+  serve::ServerOptions options;
+  options.cache_bytes = 16u << 10;  // far below the summed working sets
+  options.concurrency = 3;
+  options.threads = 3;
+  serve::Server server(options);
+
+  const std::size_t target = chaos_request_target();
+  constexpr int kClients = 3;
+  std::atomic<std::size_t> bad_responses{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      std::mt19937 rng(seed + static_cast<std::uint32_t>(c));
+      for (std::size_t i = 0; i < (target + kClients - 1) / kClients; ++i) {
+        const std::uint64_t id = static_cast<std::uint64_t>(c) * 1000000 + i;
+        const std::string response =
+            server.handle_line(chaos_line(rng, id));
+        // Every response must be valid JSON carrying ok + an id.
+        try {
+          const json::Value v = json::parse(response);
+          (void)v.at("ok").as_bool();
+          (void)v.at("id").as_uint64();
+        } catch (const Error&) {
+          bad_responses.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  EXPECT_EQ(bad_responses.load(), 0u);
+
+  // The server survived; its stats endpoint still answers coherently.
+  const json::Value stats =
+      json::parse(server.handle_line("{\"id\":1,\"type\":\"stats\"}"));
+  EXPECT_TRUE(stats.at("ok").as_bool());
+  EXPECT_GE(stats.at("result").at("accepted").as_uint64(), target);
+  if (expect_eviction) {
+    EXPECT_GT(server.cache().stats().evictions, 0u);
+  }
+}
+
+TEST(Chaos, DaemonSurvivesHostileClients) {
+  hammer_server(20050307, /*expect_eviction=*/true);
+}
+
+TEST(Chaos, DaemonSurvivesInjectedServeFaults) {
+  if (!fault_inject::kCompiled)
+    GTEST_SKIP() << "fault injection compiled out (-DNDET_FAULT_INJECT=OFF)";
+
+  fault_inject::arm("serve.parse", 0.02, 52);
+  fault_inject::arm("serve.cache_evict", 0.02, 53);
+  fault_inject::arm("detection_db.alloc", 0.01, 54);
+  fault_inject::arm("thread_pool.worker_throw", 0.001, 55);
+
+  // Injected eviction faults can leave the cache transiently over budget,
+  // so only survival is asserted, not eviction progress.
+  hammer_server(19450508, /*expect_eviction=*/false);
+
+  EXPECT_GT(fault_inject::poll_count("serve.parse"), 0u);
+  fault_inject::disarm_all();
 }
 
 TEST(Chaos, InjectedFaultsSurfaceAsTypedErrors) {

@@ -1,0 +1,180 @@
+// json_test.cpp -- the strict reader (json::parse) and its round-trip
+// contract with JsonWriter.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "util/cancel.hpp"
+#include "util/json.hpp"
+
+namespace ndet {
+namespace {
+
+ErrorKind parse_error_kind(const std::string& text) {
+  try {
+    (void)json::parse(text);
+  } catch (const Error& e) {
+    return e.kind();
+  }
+  ADD_FAILURE() << "expected json::parse to throw for: " << text;
+  return ErrorKind::kInternal;
+}
+
+std::string parse_error_message(const std::string& text) {
+  try {
+    (void)json::parse(text);
+  } catch (const Error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected json::parse to throw for: " << text;
+  return {};
+}
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(json::parse("null").is_null());
+  EXPECT_TRUE(json::parse("true").as_bool());
+  EXPECT_FALSE(json::parse(" false ").as_bool());
+  EXPECT_EQ(json::parse("42").as_int64(), 42);
+  EXPECT_EQ(json::parse("-7").as_int64(), -7);
+  EXPECT_DOUBLE_EQ(json::parse("2.5e3").as_double(), 2500.0);
+  EXPECT_EQ(json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, ExactIntegersSurviveBeyondDoublePrecision) {
+  // 2^63 + 1 is not representable as a double; the parser must keep it
+  // exact (seeds use the full uint64 range).
+  const json::Value v = json::parse("9223372036854775809");
+  ASSERT_TRUE(v.is_exact_integer());
+  EXPECT_EQ(v.as_uint64(), std::uint64_t{9223372036854775809u});
+  EXPECT_EQ(json::parse("-9223372036854775808").as_int64(),
+            std::numeric_limits<std::int64_t>::min());
+  // Signed reads of huge unsigned values must fail, not wrap.
+  EXPECT_EQ(json::parse("18446744073709551615").as_uint64(),
+            std::numeric_limits<std::uint64_t>::max());
+  EXPECT_THROW((void)json::parse("18446744073709551615").as_int64(), Error);
+  // A fractional number is not an exact integer.
+  EXPECT_FALSE(json::parse("1.5").is_exact_integer());
+  EXPECT_THROW((void)json::parse("1.5").as_int64(), Error);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(json::parse("\"a\\n\\t\\\"\\\\b\"").as_string(), "a\n\t\"\\b");
+  EXPECT_EQ(json::parse("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(json::parse("\"\\u00e9\"").as_string(), "\xc3\xa9");     // é
+  EXPECT_EQ(json::parse("\"\\u20ac\"").as_string(), "\xe2\x82\xac"); // €
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(json::parse("\"\\ud83d\\ude00\"").as_string(),
+            "\xf0\x9f\x98\x80");
+  // Lone surrogate is malformed.
+  EXPECT_EQ(parse_error_kind("\"\\ud83d\""), ErrorKind::kInvalidInput);
+  // Raw control characters are rejected inside strings.
+  EXPECT_EQ(parse_error_kind("\"a\nb\""), ErrorKind::kInvalidInput);
+}
+
+TEST(JsonParse, ContainersPreserveOrder) {
+  const json::Value v =
+      json::parse(R"({"z":1,"a":[true,null,"x"],"z2":{"k":2}})");
+  ASSERT_TRUE(v.is_object());
+  const json::Value::Object& members = v.as_object();
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0].first, "z");
+  EXPECT_EQ(members[1].first, "a");
+  EXPECT_EQ(members[2].first, "z2");
+  const json::Value::Array& a = v.at("a").as_array();
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_TRUE(a[0].as_bool());
+  EXPECT_TRUE(a[1].is_null());
+  EXPECT_EQ(a[2].as_string(), "x");
+  EXPECT_EQ(v.at("z2").at("k").as_int64(), 2);
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_THROW((void)v.at("missing"), Error);
+}
+
+TEST(JsonParse, RejectsTrailingGarbageWithPosition) {
+  EXPECT_EQ(parse_error_kind("{} extra"), ErrorKind::kInvalidInput);
+  const std::string message = parse_error_message("{}\nextra");
+  // Position context points at the offending byte on the second line.
+  EXPECT_NE(message.find("line 2"), std::string::npos) << message;
+  EXPECT_NE(message.find("column 1"), std::string::npos) << message;
+}
+
+TEST(JsonParse, RejectsMalformedSyntax) {
+  for (const char* bad :
+       {"", "   ", "{", "[1,", "[1 2]", "{\"a\" 1}", "{\"a\":}", "tru",
+        "nul", "01", "1.", "+1", "-", "\"unterminated", "{\"a\":1,}",
+        "[1,]", "{1:2}", "\"\\q\"", "nan", "infinity"}) {
+    EXPECT_EQ(parse_error_kind(bad), ErrorKind::kInvalidInput)
+        << "input: " << bad;
+  }
+}
+
+TEST(JsonParse, ReportsLineAndColumn) {
+  const std::string message = parse_error_message("{\"a\":1,\n\"b\":}");
+  EXPECT_NE(message.find("line 2"), std::string::npos) << message;
+  EXPECT_NE(message.find("column 5"), std::string::npos) << message;
+}
+
+TEST(JsonParse, DepthLimitIsEnforced) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_EQ(parse_error_kind(deep), ErrorKind::kInvalidInput);
+  std::string ok(40, '[');
+  ok += "1";
+  ok += std::string(40, ']');
+  EXPECT_NO_THROW((void)json::parse(ok));
+}
+
+TEST(JsonParse, KindMismatchesThrowTyped) {
+  const json::Value v = json::parse("{\"n\":1}");
+  EXPECT_THROW((void)v.as_array(), Error);
+  EXPECT_THROW((void)v.at("n").as_string(), Error);
+  EXPECT_THROW((void)v.at("n").as_bool(), Error);
+  try {
+    (void)v.at("n").as_string();
+    FAIL() << "expected a typed error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kInvalidInput);
+  }
+}
+
+TEST(JsonRoundTrip, WriterOutputReparses) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name").value("bbtas");
+  w.key("count").value(std::uint64_t{18446744073709551615u});
+  w.key("signed").value(std::int64_t{-42});
+  w.key("ratio").value(0.1);
+  w.key("flag").value(true);
+  w.key("nothing").null();
+  w.key("items").begin_array().value(1).value("two\n\"quoted\"").end_array();
+  w.end_object();
+
+  const json::Value v = json::parse(w.str());
+  EXPECT_EQ(v.at("name").as_string(), "bbtas");
+  EXPECT_EQ(v.at("count").as_uint64(), std::uint64_t{18446744073709551615u});
+  EXPECT_EQ(v.at("signed").as_int64(), -42);
+  EXPECT_DOUBLE_EQ(v.at("ratio").as_double(), 0.1);
+  EXPECT_TRUE(v.at("flag").as_bool());
+  EXPECT_TRUE(v.at("nothing").is_null());
+  const json::Value::Array& items = v.at("items").as_array();
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0].as_int64(), 1);
+  EXPECT_EQ(items[1].as_string(), "two\n\"quoted\"");
+}
+
+TEST(JsonRoundTrip, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.end_array();
+  const json::Value v = json::parse(w.str());
+  EXPECT_TRUE(v.as_array()[0].is_null());
+  EXPECT_TRUE(v.as_array()[1].is_null());
+}
+
+}  // namespace
+}  // namespace ndet
