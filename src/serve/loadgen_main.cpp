@@ -1,17 +1,34 @@
 // ndet_loadgen -- replay harness for the ndetd serving layer.
 //
 // Generates a deterministic (seeded) schedule of mixed worst-case /
-// average-case / partition requests across a circuit list, replays them at
-// a configurable client concurrency, and writes a BENCH_serve.json summary
-// (p50/p90/p99 latency, throughput, error counts, the server's own stats)
-// next to the repository's other benchmark baselines.
+// average-case / partition requests across a circuit list (with a
+// deterministic interactive/batch priority mix), replays them at a
+// configurable client concurrency, and writes a BENCH_serve.json summary
+// (p50/p90/p99 latency overall and per priority, throughput, shed/retry
+// counts, the server's own stats) next to the repository's other benchmark
+// baselines.
 //
 // Modes:
-//   * in-process (default): drives serve::Server::handle_line directly from
-//     N client threads -- no I/O noise, the numbers measure the engine.
+//   * in-process (default): drives serve::Server::submit through the real
+//     admission queue from N closed-loop client threads -- no I/O noise,
+//     the numbers measure the engine.
 //   * --server=PATH: fork/execs the ndetd binary, speaks the line protocol
 //     over pipes (stdin/stdout) with pipelined requests -- the numbers
-//     measure the whole daemon.
+//     measure the whole daemon.  The child runs with an UNBOUNDED admission
+//     queue: a pipelined writer floods thousands of lines at once by
+//     design, and this mode validates results, not shedding.
+//   * --connect=PORT: closed-loop TCP clients against an already-running
+//     ndetd (one connection per client thread, synchronous
+//     request/response).  This is the overload mode: shed responses and
+//     rejected connections are retried with exponential backoff + jitter,
+//     honoring the server's retry_after_ms hint.
+//
+// Every mode retries shed (resource_exhausted + retry_after_ms) responses
+// up to --max-retries times; latency is measured first-send to final
+// response, backoff included -- the latency a well-behaved retrying client
+// actually observes.  --max-p99-ms=N fails the run (exit 1) when the
+// overall p99 exceeds N, which is how CI asserts bounded latency under
+// over-capacity load.
 //
 // --validate recomputes every distinct request's result through a direct
 // AnalysisSession and requires each successful response's "result" payload
@@ -19,6 +36,9 @@
 // identically or fail as deadline_exceeded/cancelled with a stage
 // attribution.  Exits 1 on any validation failure, so CI can gate on it.
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -26,6 +46,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -49,6 +70,7 @@ namespace {
 struct PlannedRequest {
   std::string line;          ///< the request JSON (one protocol line)
   serve::RequestType type = serve::RequestType::kWorstCase;
+  serve::Priority priority = serve::Priority::kBatch;
   std::string circuit;
   std::uint64_t seed = 0;    ///< average-case seed (validation key)
   bool deadlined = false;    ///< carries a tiny deadline_ms
@@ -68,12 +90,15 @@ std::vector<std::string> split_csv(const std::string& csv) {
 }
 
 /// The deterministic mixed schedule: ~50% worst-case, ~30% average-case,
-/// ~20% partition, every `deadline_every`-th request deadline'd at 1ms.
+/// ~20% partition; every `deadline_every`-th request deadline'd at 1ms;
+/// every `interactive_every`-th request interactive priority, the rest
+/// batch (the overload runs demonstrate interactive protection).
 std::vector<PlannedRequest> plan_requests(std::size_t count,
                                           const std::vector<std::string>& circuits,
                                           std::uint64_t seed,
                                           std::size_t num_sets, int nmax,
-                                          std::size_t deadline_every) {
+                                          std::size_t deadline_every,
+                                          std::size_t interactive_every) {
   std::mt19937_64 rng(seed);
   std::uniform_int_distribution<std::size_t> pick_circuit(0,
                                                           circuits.size() - 1);
@@ -90,11 +115,15 @@ std::vector<PlannedRequest> plan_requests(std::size_t count,
                    : mix < 8 ? serve::RequestType::kAverageCase
                              : serve::RequestType::kPartition;
     request.deadlined = deadline_every > 0 && (i + 1) % deadline_every == 0;
+    request.priority = interactive_every > 0 && (i + 1) % interactive_every == 0
+                           ? serve::Priority::kInteractive
+                           : serve::Priority::kBatch;
 
     JsonWriter w;
     w.begin_object();
     w.key("id").value(static_cast<std::uint64_t>(i + 1));
     w.key("type").value(serve::to_string(request.type));
+    w.key("priority").value(serve::to_string(request.priority));
     w.key("circuit").value(request.circuit);
     if (request.deadlined) w.key("deadline_ms").value(std::uint64_t{1});
     if (request.type == serve::RequestType::kAverageCase) {
@@ -190,26 +219,79 @@ struct RunResult {
   std::vector<std::string> responses; ///< index-aligned with the schedule
   double wall_seconds = 0.0;
   std::string server_stats;           ///< the final stats payload
+  std::uint64_t shed_observed = 0;    ///< shed responses seen (pre-retry)
+  std::uint64_t retries_total = 0;    ///< resends after a shed
 };
 
-/// In-process replay: N client threads racing over one shared schedule.
+/// Exponential backoff with full jitter, seeded from the server's
+/// retry_after_ms hint: hint * 2^attempt, scaled by U[0.5, 1.5), clamped to
+/// `cap_ms`.
+std::uint64_t backoff_ms(std::uint64_t hint, std::size_t attempt,
+                         std::mt19937_64& rng, std::uint64_t cap_ms) {
+  const double base = static_cast<double>(std::max<std::uint64_t>(1, hint));
+  const double scale =
+      static_cast<double>(std::uint64_t{1} << std::min<std::size_t>(attempt, 6));
+  std::uniform_real_distribution<double> jitter(0.5, 1.5);
+  const double ms = base * scale * jitter(rng);
+  return static_cast<std::uint64_t>(
+      std::clamp(ms, 1.0, static_cast<double>(cap_ms)));
+}
+
+/// Drives one line through submit() and blocks for its response -- the
+/// closed-loop client shape the retry loop needs.
+std::string submit_and_wait(serve::Server& server, const std::string& line) {
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::string response;
+  bool done = false;
+  server.submit(line, [&](std::string&& r) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      response = std::move(r);
+      done = true;
+    }
+    done_cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(mutex);
+  done_cv.wait(lock, [&] { return done; });
+  return response;
+}
+
+/// In-process replay: N closed-loop client threads racing over one shared
+/// schedule, through the real admission queue, retrying sheds.
 RunResult run_inprocess(serve::Server& server,
                         const std::vector<PlannedRequest>& planned,
-                        unsigned concurrency) {
+                        unsigned concurrency, std::size_t max_retries) {
   RunResult result;
   result.latency_ms.resize(planned.size());
   result.responses.resize(planned.size());
   std::atomic<std::size_t> next{0};
+  std::atomic<std::uint64_t> shed_observed{0};
+  std::atomic<std::uint64_t> retries_total{0};
   const auto wall_start = std::chrono::steady_clock::now();
   std::vector<std::thread> clients;
   clients.reserve(concurrency);
   for (unsigned c = 0; c < concurrency; ++c) {
-    clients.emplace_back([&] {
+    clients.emplace_back([&, c] {
+      std::mt19937_64 rng(0x10ad6e5 + c);  // per-client jitter stream
       for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
            i < planned.size();
            i = next.fetch_add(1, std::memory_order_relaxed)) {
         const auto start = std::chrono::steady_clock::now();
-        result.responses[i] = server.handle_line(planned[i].line);
+        std::string response = submit_and_wait(server, planned[i].line);
+        for (std::size_t attempt = 0;
+             serve::is_shed_response(response) && attempt < max_retries;
+             ++attempt) {
+          shed_observed.fetch_add(1, std::memory_order_relaxed);
+          retries_total.fetch_add(1, std::memory_order_relaxed);
+          std::this_thread::sleep_for(std::chrono::milliseconds(
+              backoff_ms(serve::retry_after_ms_of(response), attempt, rng,
+                         5000)));
+          response = submit_and_wait(server, planned[i].line);
+        }
+        if (serve::is_shed_response(response))
+          shed_observed.fetch_add(1, std::memory_order_relaxed);
+        result.responses[i] = std::move(response);
         result.latency_ms[i] = std::chrono::duration<double, std::milli>(
                                    std::chrono::steady_clock::now() - start)
                                    .count();
@@ -221,6 +303,8 @@ RunResult run_inprocess(serve::Server& server,
                             std::chrono::steady_clock::now() - wall_start)
                             .count();
   result.server_stats = server.stats_json();
+  result.shed_observed = shed_observed.load();
+  result.retries_total = retries_total.load();
   return result;
 }
 
@@ -246,8 +330,11 @@ RunResult run_pipe(const std::string& server_path,
     const std::string cache = "--cache-bytes=" + std::to_string(options.cache_bytes);
     const std::string conc = "--concurrency=" + std::to_string(options.concurrency);
     const std::string threads = "--threads=" + std::to_string(options.threads);
+    // Unbounded admission: this mode pipelines the whole schedule at once
+    // by design, and it validates results rather than shedding behavior.
     ::execl(server_path.c_str(), server_path.c_str(), cache.c_str(),
-            conc.c_str(), threads.c_str(), static_cast<char*>(nullptr));
+            conc.c_str(), threads.c_str(), "--queue-depth=0",
+            "--queue-bytes=0", static_cast<char*>(nullptr));
     std::perror("loadgen: execl ndetd");
     ::_exit(127);
   }
@@ -326,6 +413,134 @@ RunResult run_pipe(const std::string& server_path,
   return result;
 }
 
+// --- TCP closed-loop mode ---------------------------------------------------
+
+int connect_loopback(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// One synchronous request/response over an established connection.  False
+/// on any transport failure (the caller reconnects and retries).
+bool tcp_round_trip(int fd, const std::string& line, std::string& buffer,
+                    std::string& response) {
+  const std::string payload = line + "\n";
+  std::size_t written = 0;
+  while (written < payload.size()) {
+    const ssize_t n =
+        ::write(fd, payload.data() + written, payload.size() - written);
+    if (n <= 0) return false;
+    written += static_cast<std::size_t>(n);
+  }
+  std::size_t newline;
+  while ((newline = buffer.find('\n')) == std::string::npos) {
+    char chunk[4096];
+    const ssize_t got = ::read(fd, chunk, sizeof chunk);
+    if (got <= 0) return false;
+    buffer.append(chunk, static_cast<std::size_t>(got));
+  }
+  response = buffer.substr(0, newline);
+  buffer.erase(0, newline + 1);
+  return true;
+}
+
+/// TCP closed-loop replay against a running ndetd: one connection per
+/// client thread, retrying sheds AND rejected/refused connections with the
+/// same backoff.  This is the overload mode the CI smoke leg drives at
+/// over-capacity.
+RunResult run_connect(int port, const std::vector<PlannedRequest>& planned,
+                      unsigned concurrency, std::size_t max_retries) {
+  RunResult result;
+  result.latency_ms.resize(planned.size());
+  result.responses.resize(planned.size());
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::uint64_t> shed_observed{0};
+  std::atomic<std::uint64_t> retries_total{0};
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(concurrency);
+  for (unsigned c = 0; c < concurrency; ++c) {
+    clients.emplace_back([&, c] {
+      std::mt19937_64 rng(0x7c9e2d1 + c);
+      int fd = -1;
+      std::string buffer;
+      auto reset = [&] {
+        if (fd >= 0) ::close(fd);
+        fd = -1;
+        buffer.clear();
+      };
+      for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+           i < planned.size();
+           i = next.fetch_add(1, std::memory_order_relaxed)) {
+        const auto start = std::chrono::steady_clock::now();
+        std::string response;
+        bool have_response = false;
+        // One extra slot beyond max_retries for the first attempt.
+        for (std::size_t attempt = 0; attempt <= max_retries; ++attempt) {
+          if (attempt > 0) retries_total.fetch_add(1, std::memory_order_relaxed);
+          if (fd < 0) fd = connect_loopback(port);
+          std::uint64_t hint = 1;
+          if (fd >= 0 && tcp_round_trip(fd, planned[i].line, buffer, response)) {
+            if (!serve::is_shed_response(response)) {
+              have_response = true;
+              break;
+            }
+            shed_observed.fetch_add(1, std::memory_order_relaxed);
+            hint = serve::retry_after_ms_of(response);
+            have_response = true;  // a shed still counts if retries run out
+            // A connection-cap rejection is followed by a server-side
+            // close; recycle the socket rather than writing into an EPIPE.
+            if (response.find("\"type\":\"connection\"") != std::string::npos)
+              reset();
+          } else {
+            reset();  // refused or mid-stream failure: reconnect and retry
+          }
+          if (attempt == max_retries) break;
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(backoff_ms(hint, attempt, rng, 5000)));
+        }
+        if (!have_response)
+          response = serve::shed_response(
+              i + 1, serve::to_string(planned[i].type),
+              "loadgen: connection failed after retries", 0);
+        result.responses[i] = std::move(response);
+        result.latency_ms[i] = std::chrono::duration<double, std::milli>(
+                                   std::chrono::steady_clock::now() - start)
+                                   .count();
+      }
+      reset();
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  result.wall_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
+  result.shed_observed = shed_observed.load();
+  result.retries_total = retries_total.load();
+  // The server's own view, over a fresh connection (best effort: the
+  // daemon may already be draining).
+  if (const int fd = connect_loopback(port); fd >= 0) {
+    std::string buffer, line;
+    if (tcp_round_trip(fd, "{\"id\":0,\"type\":\"stats\"}", buffer, line)) {
+      const std::size_t at = line.find("\"result\":");
+      if (at != std::string::npos)
+        result.server_stats = line.substr(at + 9, line.size() - (at + 9) - 1);
+    }
+    ::close(fd);
+  }
+  return result;
+}
+
 }  // namespace
 }  // namespace ndet
 
@@ -335,7 +550,9 @@ int main(int argc, char** argv) {
     const CliArgs args(argc, argv,
                        {"requests", "concurrency", "circuits", "cache-bytes",
                         "threads", "seed", "out", "responses", "validate",
-                        "server", "deadline-every", "num-sets", "nmax"});
+                        "server", "deadline-every", "num-sets", "nmax",
+                        "interactive-every", "max-retries", "connect",
+                        "max-p99-ms", "queue-depth", "queue-bytes"});
     const std::size_t requests = args.get_u64("requests", 2000);
     const unsigned concurrency =
         static_cast<unsigned>(args.get_u64("concurrency", 8));
@@ -347,6 +564,9 @@ int main(int argc, char** argv) {
     const std::size_t num_sets = args.get_u64("num-sets", 12);
     const int nmax = static_cast<int>(args.get_u64("nmax", 2));
     const std::size_t deadline_every = args.get_u64("deadline-every", 97);
+    const std::size_t interactive_every = args.get_u64("interactive-every", 4);
+    const std::size_t max_retries = args.get_u64("max-retries", 6);
+    const std::uint64_t max_p99_ms = args.get_u64("max-p99-ms", 0);
 
     serve::ServerOptions options;
     // Default budget deliberately below the suite's summed working sets so
@@ -355,19 +575,28 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(args.get_u64("cache-bytes", 64u << 10));
     options.concurrency = concurrency;
     options.threads = static_cast<unsigned>(args.get_u64("threads", 0));
+    options.max_queue_depth = static_cast<std::size_t>(
+        args.get_u64("queue-depth", options.max_queue_depth));
+    options.max_queue_bytes = static_cast<std::size_t>(
+        args.get_u64("queue-bytes", options.max_queue_bytes));
 
-    const std::vector<PlannedRequest> planned = plan_requests(
-        requests, circuits, seed, num_sets, nmax, deadline_every);
+    const std::vector<PlannedRequest> planned =
+        plan_requests(requests, circuits, seed, num_sets, nmax, deadline_every,
+                      interactive_every);
 
     RunResult run;
     std::string mode;
     if (args.has("server")) {
       mode = "pipe";
       run = run_pipe(args.get("server", ""), planned, options);
+    } else if (args.has("connect")) {
+      mode = "connect";
+      run = run_connect(static_cast<int>(args.get_u64("connect", 0)), planned,
+                        concurrency, max_retries);
     } else {
       mode = "inprocess";
       serve::Server server(options);
-      run = run_inprocess(server, planned, concurrency);
+      run = run_inprocess(server, planned, concurrency, max_retries);
     }
 
     if (args.has("responses")) {
@@ -377,7 +606,7 @@ int main(int argc, char** argv) {
     }
 
     // --- classify ----------------------------------------------------------
-    std::size_t ok = 0, errors = 0, deadline_exceeded = 0;
+    std::size_t ok = 0, errors = 0, deadline_exceeded = 0, shed_final = 0;
     for (const std::string& response : run.responses) {
       if (response.find("\"ok\":true") != std::string::npos) {
         ++ok;
@@ -386,6 +615,7 @@ int main(int argc, char** argv) {
         if (response.find("\"kind\":\"deadline_exceeded\"") !=
             std::string::npos)
           ++deadline_exceeded;
+        if (serve::is_shed_response(response)) ++shed_final;
       }
     }
 
@@ -429,6 +659,31 @@ int main(int argc, char** argv) {
     // --- report ------------------------------------------------------------
     std::vector<double> sorted = run.latency_ms;
     std::sort(sorted.begin(), sorted.end());
+    std::vector<double> interactive_sorted, batch_sorted;
+    for (std::size_t i = 0; i < planned.size(); ++i) {
+      (planned[i].priority == serve::Priority::kInteractive
+           ? interactive_sorted
+           : batch_sorted)
+          .push_back(run.latency_ms[i]);
+    }
+    std::sort(interactive_sorted.begin(), interactive_sorted.end());
+    std::sort(batch_sorted.begin(), batch_sorted.end());
+
+    const auto write_percentiles = [](JsonWriter& w, std::vector<double>& s) {
+      w.begin_object()
+          .key("count")
+          .value(static_cast<std::uint64_t>(s.size()))
+          .key("p50")
+          .value(percentile(s, 0.50))
+          .key("p90")
+          .value(percentile(s, 0.90))
+          .key("p99")
+          .value(percentile(s, 0.99))
+          .key("max")
+          .value(s.empty() ? 0.0 : s.back())
+          .end_object();
+    };
+
     JsonWriter w;
     w.begin_object();
     w.key("name").value("serve_loadgen");
@@ -436,6 +691,9 @@ int main(int argc, char** argv) {
     w.key("requests").value(static_cast<std::uint64_t>(requests));
     w.key("concurrency").value(concurrency);
     w.key("cache_bytes").value(static_cast<std::uint64_t>(options.cache_bytes));
+    w.key("interactive_every")
+        .value(static_cast<std::uint64_t>(interactive_every));
+    w.key("max_retries").value(static_cast<std::uint64_t>(max_retries));
     w.key("circuits").begin_array();
     for (const std::string& circuit : circuits) w.value(circuit);
     w.end_array();
@@ -443,6 +701,9 @@ int main(int argc, char** argv) {
     w.key("errors").value(static_cast<std::uint64_t>(errors));
     w.key("deadline_exceeded")
         .value(static_cast<std::uint64_t>(deadline_exceeded));
+    w.key("shed_observed").value(run.shed_observed);
+    w.key("retries").value(run.retries_total);
+    w.key("shed_final").value(static_cast<std::uint64_t>(shed_final));
     w.key("validated").value(static_cast<std::uint64_t>(validated));
     w.key("mismatches").value(static_cast<std::uint64_t>(mismatches));
     w.key("wall_seconds").value(run.wall_seconds);
@@ -450,17 +711,12 @@ int main(int argc, char** argv) {
         .value(run.wall_seconds > 0.0
                    ? static_cast<double>(requests) / run.wall_seconds
                    : 0.0);
-    w.key("latency_ms")
-        .begin_object()
-        .key("p50")
-        .value(percentile(sorted, 0.50))
-        .key("p90")
-        .value(percentile(sorted, 0.90))
-        .key("p99")
-        .value(percentile(sorted, 0.99))
-        .key("max")
-        .value(sorted.empty() ? 0.0 : sorted.back())
-        .end_object();
+    w.key("latency_ms");
+    write_percentiles(w, sorted);
+    w.key("latency_ms_interactive");
+    write_percentiles(w, interactive_sorted);
+    w.key("latency_ms_batch");
+    write_percentiles(w, batch_sorted);
     if (run.server_stats.empty())
       w.key("server_stats").null();
     else
@@ -471,11 +727,18 @@ int main(int argc, char** argv) {
     write_json_file(out_path, w.str());
     std::cout << "loadgen: " << requests << " requests (" << ok << " ok, "
               << errors << " errors, " << deadline_exceeded
-              << " deadline_exceeded) in " << run.wall_seconds << "s -> "
-              << out_path << "\n";
+              << " deadline_exceeded, " << run.shed_observed
+              << " sheds observed, " << run.retries_total << " retries) in "
+              << run.wall_seconds << "s -> " << out_path << "\n";
     if (args.has("validate"))
       std::cout << "loadgen: validated " << validated << " responses, "
                 << mismatches << " mismatches\n";
+    const double p99 = percentile(sorted, 0.99);
+    if (max_p99_ms > 0 && p99 > static_cast<double>(max_p99_ms)) {
+      std::cerr << "loadgen: p99 " << p99 << "ms exceeds --max-p99-ms bound "
+                << max_p99_ms << "ms\n";
+      return 1;
+    }
     return mismatches == 0 ? 0 : 1;
   });
 }

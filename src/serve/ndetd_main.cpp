@@ -4,25 +4,63 @@
 // stdin/stdout by default, or a loopback TCP socket with --listen=PORT.
 // Requests are dispatched concurrently (--concurrency dispatcher threads)
 // onto cached AnalysisSessions bounded by the --cache-bytes LRU budget.
+// Admission is bounded (--queue-depth / --queue-bytes) with priority-laned
+// shedding, and TCP clients are capped by --max-connections.
 //
 //   echo '{"id":1,"type":"worst_case","circuit":"bbtas"}' | ndetd
+//
+// Lifecycle (documented in README "Serving" and DESIGN.md "Overload and
+// lifecycle"): the FIRST SIGTERM or SIGINT requests a graceful drain --
+// admission stops, in-flight work finishes under the --drain-ms budget,
+// every accepted line gets its response, and the process exits 0.  A drain
+// that times out with work still owed exits 1.  A SECOND signal is the
+// hard kill: immediate _exit(130), no drain.
 //
 // --oneshot serves exactly one request and exits with the CLI exit-code
 // convention (124 deadline/cancel, 2 invalid input, 1 internal, 0 ok), so
 // scripts can probe the deadline contract without a client.
 
+#include <csignal>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
+#include <unistd.h>
+
 #include "serve/server.hpp"
 #include "util/cli.hpp"
+
+namespace {
+
+ndet::serve::Server* g_server = nullptr;
+volatile std::sig_atomic_t g_signals_seen = 0;
+
+extern "C" void handle_drain_signal(int) {
+  // First signal: graceful drain (one async-signal-safe atomic store).
+  // Second: the operator means it -- hard kill, conventional 128+SIGINT.
+  g_signals_seen = g_signals_seen + 1;
+  if (g_signals_seen > 1) _exit(130);
+  if (g_server != nullptr) g_server->request_drain();
+}
+
+void install_signal_handlers() {
+  struct sigaction action{};
+  action.sa_handler = handle_drain_signal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: blocked read()/accept() see EINTR
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace ndet;
   return run_cli([&]() -> int {
     const CliArgs args(argc, argv,
                        {"cache-bytes", "concurrency", "threads", "max-inputs",
-                        "listen", "oneshot", "max-line-bytes"});
+                        "listen", "oneshot", "max-line-bytes", "queue-depth",
+                        "queue-bytes", "max-connections", "drain-ms"});
     serve::ServerOptions options;
     options.cache_bytes = static_cast<std::size_t>(
         args.get_u64("cache-bytes", options.cache_bytes));
@@ -34,6 +72,13 @@ int main(int argc, char** argv) {
         static_cast<int>(args.get_u64("max-inputs", options.max_inputs));
     options.max_line_bytes = static_cast<std::size_t>(
         args.get_u64("max-line-bytes", options.max_line_bytes));
+    options.max_queue_depth = static_cast<std::size_t>(
+        args.get_u64("queue-depth", options.max_queue_depth));
+    options.max_queue_bytes = static_cast<std::size_t>(
+        args.get_u64("queue-bytes", options.max_queue_bytes));
+    options.max_connections = static_cast<unsigned>(
+        args.get_u64("max-connections", options.max_connections));
+    options.drain_ms = args.get_u64("drain-ms", options.drain_ms);
 
     serve::Server server(options);
     if (args.has("oneshot")) {
@@ -44,15 +89,25 @@ int main(int argc, char** argv) {
       std::cout.flush();
       return failure ? exit_code_for(*failure) : 0;
     }
+
+    g_server = &server;
+    install_signal_handlers();
+
+    bool clean = true;
     if (args.has("listen")) {
       const int port = static_cast<int>(args.get_u64("listen", 0));
-      server.serve_tcp(port, [](int bound) {
+      clean = server.serve_tcp(port, [](int bound) {
         // Advertised on stderr so stdout stays pure protocol.
         std::cerr << "ndetd: listening on 127.0.0.1:" << bound << std::endl;
       });
-      return 0;
+    } else {
+      clean = server.serve_stream(std::cin, std::cout);
     }
-    server.serve_stream(std::cin, std::cout);
-    return 0;
+    g_server = nullptr;
+    if (server.drain_requested())
+      std::cerr << (clean ? "ndetd: drained cleanly"
+                          : "ndetd: drain timed out with work un-responded")
+                << std::endl;
+    return clean ? 0 : 1;
   });
 }

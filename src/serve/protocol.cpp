@@ -12,8 +12,17 @@ const char* to_string(RequestType type) {
     case RequestType::kPartition: return "partition";
     case RequestType::kStats: return "stats";
     case RequestType::kPing: return "ping";
+    case RequestType::kHealth: return "health";
   }
   return "ping";
+}
+
+Priority parse_priority(const std::string& name) {
+  if (name == "interactive") return Priority::kInteractive;
+  if (name == "batch") return Priority::kBatch;
+  throw Error(ErrorKind::kInvalidInput,
+              "unknown priority '" + name +
+                  "' (expected interactive or batch)");
 }
 
 namespace {
@@ -24,10 +33,11 @@ RequestType parse_type(const std::string& name) {
   if (name == "partition") return RequestType::kPartition;
   if (name == "stats") return RequestType::kStats;
   if (name == "ping") return RequestType::kPing;
+  if (name == "health") return RequestType::kHealth;
   throw Error(ErrorKind::kInvalidInput,
               "unknown request type '" + name +
-                  "' (expected worst_case, average_case, partition, stats "
-                  "or ping)");
+                  "' (expected worst_case, average_case, partition, stats, "
+                  "ping or health)");
 }
 
 SetRepresentation parse_representation(const std::string& name) {
@@ -50,8 +60,10 @@ DetectionDefinition parse_definition(const std::string& name) {
 /// The full key vocabulary per request type; anything else is rejected so a
 /// misspelled option fails loudly instead of silently running defaults.
 bool key_allowed(RequestType type, const std::string& key) {
-  if (key == "id" || key == "type") return true;
-  if (type == RequestType::kStats || type == RequestType::kPing) return false;
+  if (key == "id" || key == "type" || key == "priority") return true;
+  if (type == RequestType::kStats || type == RequestType::kPing ||
+      type == RequestType::kHealth)
+    return false;
   if (key == "circuit" || key == "deadline_ms" || key == "max_inputs" ||
       key == "representation")
     return true;
@@ -74,6 +86,8 @@ Request parse_request(const std::string& line) {
   Request request;
   if (const json::Value* id = root.find("id")) request.id = id->as_uint64();
   request.type = parse_type(root.at("type").as_string());
+  if (const json::Value* v = root.find("priority"))
+    request.priority = parse_priority(v->as_string());
 
   for (const json::Value::Member& member : root.as_object()) {
     if (!key_allowed(request.type, member.first))
@@ -82,7 +96,9 @@ Request parse_request(const std::string& line) {
                       to_string(request.type) + "'");
   }
 
-  if (request.type == RequestType::kStats || request.type == RequestType::kPing)
+  if (request.type == RequestType::kStats ||
+      request.type == RequestType::kPing ||
+      request.type == RequestType::kHealth)
     return request;
 
   request.circuit = root.at("circuit").as_string();
@@ -182,6 +198,47 @@ std::string error_response(std::uint64_t id, std::string_view type_name,
   w.key("elapsed_ms").value(elapsed_ms);
   w.end_object();
   return w.str();
+}
+
+std::string shed_response(std::uint64_t id, std::string_view type_name,
+                          const std::string& message,
+                          std::uint64_t retry_after_ms) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("id").value(id);
+  w.key("ok").value(false);
+  w.key("type").value(type_name);
+  w.key("error")
+      .begin_object()
+      .key("kind")
+      .value(ndet::to_string(ErrorKind::kResourceExhausted))
+      .key("stage")
+      .value("serve.admission")
+      .key("message")
+      .value(message)
+      .key("retry_after_ms")
+      .value(retry_after_ms)
+      .end_object();
+  w.key("elapsed_ms").value(0.0);
+  w.end_object();
+  return w.str();
+}
+
+bool is_shed_response(const std::string& response) {
+  return response.find("\"kind\":\"resource_exhausted\"") !=
+             std::string::npos &&
+         response.find("\"retry_after_ms\":") != std::string::npos;
+}
+
+std::uint64_t retry_after_ms_of(const std::string& response) {
+  const std::string key = "\"retry_after_ms\":";
+  const std::size_t at = response.find(key);
+  if (at == std::string::npos) return 0;
+  std::uint64_t value = 0;
+  for (std::size_t i = at + key.size();
+       i < response.size() && response[i] >= '0' && response[i] <= '9'; ++i)
+    value = value * 10 + static_cast<std::uint64_t>(response[i] - '0');
+  return value;
 }
 
 }  // namespace ndet::serve

@@ -6,15 +6,12 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
-#include <condition_variable>
 #include <cstring>
-#include <deque>
 #include <istream>
-#include <mutex>
 #include <ostream>
-#include <thread>
-#include <vector>
+#include <utility>
 
 #include "util/check.hpp"
 #include "util/fault_inject.hpp"
@@ -42,6 +39,48 @@ SessionOptions base_options(const ServerOptions& options) {
   base.max_inputs = options.max_inputs;
   base.representation = options.representation;
   return base;
+}
+
+std::int64_t to_ns(std::chrono::steady_clock::time_point t) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             t.time_since_epoch())
+      .count();
+}
+
+std::chrono::steady_clock::time_point from_ns(std::int64_t ns) {
+  return std::chrono::steady_clock::time_point(std::chrono::nanoseconds(ns));
+}
+
+/// Best-effort "who is this line" peek for admission and shed responses:
+/// a full parse when the line is well-formed, benign defaults otherwise
+/// (a malformed line still flows through the queue so the dispatcher can
+/// produce its typed parse error).
+struct LinePeek {
+  std::uint64_t id = 0;
+  std::string type_name = "unknown";
+  RequestType type = RequestType::kPing;
+  Priority priority = Priority::kInteractive;
+  bool parsed = false;
+};
+
+LinePeek peek_line(const std::string& line) {
+  LinePeek peek;
+  try {
+    const Request request = parse_request(line);
+    peek.id = request.id;
+    peek.type_name = to_string(request.type);
+    peek.type = request.type;
+    peek.priority = request.priority;
+    peek.parsed = true;
+  } catch (const std::exception&) {
+    // Malformed: admitted as interactive so the error response is prompt.
+  }
+  return peek;
+}
+
+bool is_control_type(RequestType type) {
+  return type == RequestType::kPing || type == RequestType::kStats ||
+         type == RequestType::kHealth;
 }
 
 }  // namespace
@@ -86,15 +125,59 @@ double LatencyHistogram::percentile_ms(double p) const {
 
 // --- Server -----------------------------------------------------------------
 
+const char* to_string(ServerState state) {
+  switch (state) {
+    case ServerState::kServing: return "serving";
+    case ServerState::kDraining: return "draining";
+    case ServerState::kStopped: return "stopped";
+  }
+  return "stopped";
+}
+
 Server::Server(ServerOptions options)
     : options_(options),
       session_base_(base_options(options)),
       cache_(options.cache_bytes, session_base_),
       lifetime_(std::make_shared<CancelToken>()),
+      queue_(options.max_queue_depth, options.max_queue_bytes),
       start_time_(std::chrono::steady_clock::now()) {}
+
+Server::~Server() {
+  // Admitted lines are never abandoned: cancel in-flight work, then let
+  // the dispatchers drain the queue (each remaining line gets a Cancelled
+  // error response) before joining them.
+  if (state() != ServerState::kStopped) shutdown();
+  stop_dispatchers();
+}
 
 Server::TypeCounters& Server::counters_for(RequestType type) {
   return by_type_[static_cast<std::size_t>(type)];
+}
+
+void Server::record_service(double seconds) {
+  // Relaxed EWMA (alpha = 1/8) of service time; feeds the retry hint.
+  const std::uint64_t sample =
+      static_cast<std::uint64_t>(std::max(1.0, seconds * 1e6));
+  const std::uint64_t old = ewma_service_us_.load(std::memory_order_relaxed);
+  ewma_service_us_.store((old * 7 + sample) / 8, std::memory_order_relaxed);
+}
+
+std::uint64_t Server::retry_after_hint_ms() const {
+  const double service_ms =
+      static_cast<double>(ewma_service_us_.load(std::memory_order_relaxed)) /
+      1000.0;
+  const double depth = static_cast<double>(queue_.depth());
+  const double lanes = std::max(1u, options_.concurrency);
+  const double hint = service_ms * (depth + 1.0) / lanes;
+  return static_cast<std::uint64_t>(
+      std::clamp(hint, 1.0, 30000.0));
+}
+
+bool Server::overloaded() const {
+  if (options_.max_queue_depth == 0) return false;
+  // High-water mark at 3/4 of the depth bound: the health endpoint warns
+  // before admission starts shedding.
+  return queue_.depth() * 4 >= options_.max_queue_depth * 3;
 }
 
 std::string Server::handle_line(const std::string& line) {
@@ -103,6 +186,12 @@ std::string Server::handle_line(const std::string& line) {
 
 std::string Server::handle_line(const std::string& line,
                                 std::optional<ErrorKind>* failure) {
+  return process_line(line, failure, /*admitted_before_drain=*/false);
+}
+
+std::string Server::process_line(const std::string& line,
+                                 std::optional<ErrorKind>* failure,
+                                 bool admitted_before_drain) {
   const auto start = std::chrono::steady_clock::now();
   accepted_.fetch_add(1, std::memory_order_relaxed);
   if (failure) failure->reset();
@@ -123,32 +212,55 @@ std::string Server::handle_line(const std::string& line,
     return error_response(0, "unknown", e, elapsed_ms_since(start));
   }
 
+  // Drain mode: lines not admitted before the drain began are shed (the
+  // control types stay answerable so load balancers observe the state).
+  if (!admitted_before_drain && !is_control_type(request.type) &&
+      state() != ServerState::kServing) {
+    if (failure) *failure = ErrorKind::kResourceExhausted;
+    TypeCounters& shed_counters = counters_for(request.type);
+    shed_counters.requests.fetch_add(1, std::memory_order_relaxed);
+    shed_counters.errors.fetch_add(1, std::memory_order_relaxed);
+    return shed_response(request.id, to_string(request.type),
+                         "server draining: not admitting new analysis work",
+                         retry_after_hint_ms());
+  }
+
   TypeCounters& counters = counters_for(request.type);
+  TypeCounters& priority_counters =
+      by_priority_[static_cast<std::size_t>(request.priority)];
   counters.requests.fetch_add(1, std::memory_order_relaxed);
+  priority_counters.requests.fetch_add(1, std::memory_order_relaxed);
   std::string response;
   try {
-    response = run_request(request, failure);
+    response = run_request(request, failure, admitted_before_drain);
     counters.ok.fetch_add(1, std::memory_order_relaxed);
+    priority_counters.ok.fetch_add(1, std::memory_order_relaxed);
   } catch (const Error& e) {
     counters.errors.fetch_add(1, std::memory_order_relaxed);
+    priority_counters.errors.fetch_add(1, std::memory_order_relaxed);
     if (failure) *failure = e.kind();
     response = error_response(request.id, to_string(request.type), e,
                               elapsed_ms_since(start));
   } catch (const std::exception& e) {
     counters.errors.fetch_add(1, std::memory_order_relaxed);
+    priority_counters.errors.fetch_add(1, std::memory_order_relaxed);
     const Error wrapped(ErrorKind::kInternal, e.what());
     if (failure) *failure = wrapped.kind();
     response = error_response(request.id, to_string(request.type), wrapped,
                               elapsed_ms_since(start));
   }
-  counters.latency.record(
+  const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count());
+          .count();
+  counters.latency.record(seconds);
+  priority_counters.latency.record(seconds);
+  record_service(seconds);
   return response;
 }
 
 std::string Server::run_request(const Request& request,
-                                std::optional<ErrorKind>* failure) {
+                                std::optional<ErrorKind>* failure,
+                                bool admitted_before_drain) {
   (void)failure;
   const auto start = std::chrono::steady_clock::now();
   check_cancel(lifetime_.get(), "serve.dispatch");
@@ -157,14 +269,40 @@ std::string Server::run_request(const Request& request,
     return ok_response(request, "\"pong\"", elapsed_ms_since(start));
   if (request.type == RequestType::kStats)
     return ok_response(request, stats_json(), elapsed_ms_since(start));
+  if (request.type == RequestType::kHealth)
+    return ok_response(request, health_json(), elapsed_ms_since(start));
 
   // A fresh token per request: tokens latch and deadlines only tighten, so
   // cached sessions can never reuse one.  Chaining the lifetime token makes
-  // shutdown() reach in-flight stages.
+  // shutdown() reach in-flight stages; the active-token registry lets
+  // begin_drain() arm the drain budget onto work already in flight.
   auto token = std::make_shared<CancelToken>();
   token->chain_parent(lifetime_);
+  const bool draining = state() != ServerState::kServing;
+  if (draining) {
+    token->label_deadline("drain budget");
+    token->set_deadline(
+        from_ns(drain_deadline_ns_.load(std::memory_order_acquire)));
+    NDET_INJECT("serve.drain",
+                throw Error(ErrorKind::kCancelled,
+                            "injected drain abort (site serve.drain)",
+                            "serve.drain"));
+  }
+  std::list<std::weak_ptr<CancelToken>>::iterator active_it;
+  {
+    const std::lock_guard<std::mutex> lock(active_mutex_);
+    active_it = active_tokens_.insert(active_tokens_.end(), token);
+  }
+  struct ActiveGuard {
+    Server* server;
+    std::list<std::weak_ptr<CancelToken>>::iterator it;
+    ~ActiveGuard() {
+      const std::lock_guard<std::mutex> lock(server->active_mutex_);
+      server->active_tokens_.erase(it);
+    }
+  } active_guard{this, active_it};
 
-  SessionCache::Lease lease = cache_.acquire(request.key);
+  SessionCache::Lease lease = cache_.acquire(request.key, request.priority);
   AnalysisSession& session = lease.session();
   session.rearm(request.deadline_ms, token);
   std::string result;
@@ -187,6 +325,7 @@ std::string Server::run_request(const Request& request,
       }
       case RequestType::kStats:
       case RequestType::kPing:
+      case RequestType::kHealth:
         break;  // handled above
     }
   } catch (...) {
@@ -205,18 +344,199 @@ std::string Server::run_request(const Request& request,
   cache_.update(lease);
   const SessionStats stats = session.stats();
   session.rearm(0, nullptr);
+  (void)admitted_before_drain;
   return ok_response(request, result, stats, lease.hit(),
                      elapsed_ms_since(start));
 }
 
+// --- admission + dispatch ---------------------------------------------------
+
+Server::Responder Server::track(Responder respond) {
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  return [this, respond = std::move(respond)](std::string&& response) {
+    respond(std::move(response));
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      const std::lock_guard<std::mutex> lock(drain_mutex_);
+      drained_cv_.notify_all();
+    }
+  };
+}
+
+bool Server::submit(std::string line, Responder respond) {
+  Responder tracked = track(std::move(respond));
+  const LinePeek peek = peek_line(line);
+
+  // Control requests never queue: ping/stats/health must stay answerable
+  // under overload and during drain (the whole point of a health probe).
+  if (peek.parsed && is_control_type(peek.type)) {
+    tracked(handle_line(line));
+    return false;
+  }
+
+  if (state() != ServerState::kServing) {
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    tracked(shed_response(peek.id, peek.type_name,
+                          "server draining: not admitting new analysis work",
+                          retry_after_hint_ms()));
+    return false;
+  }
+
+  bool injected_full = false;
+  NDET_INJECT("serve.queue_full", injected_full = true);
+
+  ensure_dispatchers();
+  AdmittedLine admitted;
+  admitted.line = std::move(line);
+  admitted.priority = peek.priority;
+  admitted.id = peek.id;
+  admitted.type_name = peek.type_name;
+  admitted.respond = std::move(tracked);
+
+  std::vector<AdmittedLine> displaced;
+  const bool entered = !injected_full && queue_.offer(admitted, &displaced);
+  for (AdmittedLine& victim : displaced) {
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    victim.respond(shed_response(
+        victim.id, victim.type_name,
+        "shed: displaced by interactive work under overload",
+        retry_after_hint_ms()));
+  }
+  if (!entered) {
+    // Rejected offers leave `admitted` intact, responder included.
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    admitted.respond(shed_response(
+        admitted.id, admitted.type_name,
+        "admission queue full: request shed", retry_after_hint_ms()));
+    return false;
+  }
+  return true;
+}
+
+void Server::ensure_dispatchers() {
+  const std::lock_guard<std::mutex> lock(dispatcher_mutex_);
+  if (!dispatchers_.empty() || dispatchers_stopped_) return;
+  const unsigned count = std::max(1u, options_.concurrency);
+  dispatchers_.reserve(count);
+  for (unsigned i = 0; i < count; ++i)
+    dispatchers_.emplace_back([this] { dispatch_loop(); });
+}
+
+void Server::dispatch_loop() {
+  AdmittedLine item;
+  while (queue_.pop(item)) {
+    std::string response =
+        process_line(item.line, nullptr, /*admitted_before_drain=*/true);
+    item.respond(std::move(response));
+  }
+}
+
+void Server::stop_dispatchers() {
+  queue_.close();
+  std::vector<std::thread> to_join;
+  {
+    const std::lock_guard<std::mutex> lock(dispatcher_mutex_);
+    dispatchers_stopped_ = true;
+    to_join.swap(dispatchers_);
+  }
+  for (std::thread& dispatcher : to_join) dispatcher.join();
+}
+
+// --- lifecycle --------------------------------------------------------------
+
+void Server::begin_drain() {
+  ServerState expected = ServerState::kServing;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(options_.drain_ms);
+  drain_deadline_ns_.store(to_ns(deadline), std::memory_order_release);
+  if (!state_.compare_exchange_strong(expected, ServerState::kDraining,
+                                      std::memory_order_acq_rel))
+    return;  // already draining or stopped
+  // Arm the drain budget onto work already in flight; requests admitted
+  // before the drain but still queued get theirs at token creation.
+  const std::lock_guard<std::mutex> lock(active_mutex_);
+  for (const std::weak_ptr<CancelToken>& weak : active_tokens_) {
+    if (const std::shared_ptr<CancelToken> token = weak.lock()) {
+      token->label_deadline("drain budget");
+      token->set_deadline(deadline);
+    }
+  }
+}
+
+bool Server::wait_drained(std::uint64_t timeout_ms) {
+  auto drained = [this] {
+    return pending_.load(std::memory_order_acquire) == 0 &&
+           queue_.depth() == 0;
+  };
+  {
+    std::unique_lock<std::mutex> lock(drain_mutex_);
+    if (timeout_ms == 0) {
+      drained_cv_.wait(lock, drained);
+    } else if (!drained_cv_.wait_for(
+                   lock, std::chrono::milliseconds(timeout_ms), drained)) {
+      return false;
+    }
+  }
+  state_.store(ServerState::kStopped, std::memory_order_release);
+  stop_dispatchers();
+  return true;
+}
+
+void Server::shutdown() {
+  lifetime_->cancel("server shutdown");
+  state_.store(ServerState::kStopped, std::memory_order_release);
+  const int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+}
+
+// --- telemetry --------------------------------------------------------------
+
+std::string Server::health_json() const {
+  const ServerState state = this->state();
+  const char* reported =
+      state != ServerState::kServing
+          ? "draining"
+          : (overloaded() ? "overloaded" : "serving");
+  JsonWriter w;
+  w.begin_object();
+  w.key("state").value(reported);
+  w.key("queue_depth").value(static_cast<std::uint64_t>(queue_.depth()));
+  w.key("connections")
+      .value(static_cast<std::uint64_t>(
+          active_connections_.load(std::memory_order_relaxed)));
+  w.key("retry_after_ms").value(retry_after_hint_ms());
+  w.end_object();
+  return w.str();
+}
+
+namespace {
+
+void write_latency(JsonWriter& w, const LatencyHistogram& latency) {
+  w.key("latency_ms")
+      .begin_object()
+      .key("p50")
+      .value(latency.percentile_ms(0.50))
+      .key("p90")
+      .value(latency.percentile_ms(0.90))
+      .key("p99")
+      .value(latency.percentile_ms(0.99))
+      .end_object();
+}
+
+}  // namespace
+
 std::string Server::stats_json() const {
   const SessionCacheStats cache_stats = cache_.stats();
+  const AdmissionStats admission = queue_.stats();
   JsonWriter w;
   w.begin_object();
   w.key("uptime_seconds")
       .value(std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                            start_time_)
                  .count());
+  w.key("state").value(to_string(state()));
   w.key("accepted").value(accepted_.load(std::memory_order_relaxed));
   w.key("malformed").value(malformed_.load(std::memory_order_relaxed));
   w.key("requests").begin_object();
@@ -226,17 +546,32 @@ std::string Server::stats_json() const {
     w.key("count").value(counters.requests.load(std::memory_order_relaxed));
     w.key("ok").value(counters.ok.load(std::memory_order_relaxed));
     w.key("errors").value(counters.errors.load(std::memory_order_relaxed));
-    w.key("latency_ms")
-        .begin_object()
-        .key("p50")
-        .value(counters.latency.percentile_ms(0.50))
-        .key("p90")
-        .value(counters.latency.percentile_ms(0.90))
-        .key("p99")
-        .value(counters.latency.percentile_ms(0.99))
-        .end_object();
+    write_latency(w, counters.latency);
     w.end_object();
   }
+  w.end_object();
+  w.key("priority").begin_object();
+  for (std::size_t i = 0; i < by_priority_.size(); ++i) {
+    const TypeCounters& counters = by_priority_[i];
+    w.key(to_string(static_cast<Priority>(i))).begin_object();
+    w.key("count").value(counters.requests.load(std::memory_order_relaxed));
+    w.key("ok").value(counters.ok.load(std::memory_order_relaxed));
+    w.key("errors").value(counters.errors.load(std::memory_order_relaxed));
+    write_latency(w, counters.latency);
+    w.end_object();
+  }
+  w.end_object();
+  w.key("admission").begin_object();
+  w.key("queue_depth").value(static_cast<std::uint64_t>(admission.depth));
+  w.key("queue_bytes").value(static_cast<std::uint64_t>(admission.bytes));
+  w.key("peak_depth").value(static_cast<std::uint64_t>(admission.peak_depth));
+  w.key("admitted").value(admission.admitted);
+  w.key("shed_interactive").value(admission.shed_interactive);
+  w.key("shed_batch").value(admission.shed_batch);
+  w.key("displaced").value(admission.displaced);
+  w.key("rejected_connections")
+      .value(rejected_connections_.load(std::memory_order_relaxed));
+  w.key("retry_after_ms").value(retry_after_hint_ms());
   w.end_object();
   w.key("cache").begin_object();
   w.key("hits").value(cache_stats.hits);
@@ -258,81 +593,18 @@ std::string Server::stats_json() const {
   return w.str();
 }
 
-void Server::shutdown() {
-  lifetime_->cancel("server shutdown");
-  const int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
-  if (fd >= 0) {
-    ::shutdown(fd, SHUT_RDWR);
-    ::close(fd);
-  }
-}
+// --- transports -------------------------------------------------------------
 
-namespace {
-
-/// Bounded MPMC line queue for the acceptor -> dispatcher handoff.
-class LineQueue {
- public:
-  explicit LineQueue(std::size_t capacity) : capacity_(capacity) {}
-
-  void push(std::string line) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock,
-                   [this] { return lines_.size() < capacity_ || closed_; });
-    if (closed_) return;
-    lines_.push_back(std::move(line));
-    not_empty_.notify_one();
-  }
-
-  bool pop(std::string& line) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [this] { return !lines_.empty() || closed_; });
-    if (lines_.empty()) return false;
-    line = std::move(lines_.front());
-    lines_.pop_front();
-    not_full_.notify_one();
-    return true;
-  }
-
-  void close() {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    closed_ = true;
-    not_empty_.notify_all();
-    not_full_.notify_all();
-  }
-
- private:
-  const std::size_t capacity_;
-  std::mutex mutex_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<std::string> lines_;
-  bool closed_ = false;
-};
-
-}  // namespace
-
-void Server::serve_stream(std::istream& in, std::ostream& out) {
-  const unsigned dispatchers = std::max(1u, options_.concurrency);
-  LineQueue queue(4 * dispatchers);
+bool Server::serve_stream(std::istream& in, std::ostream& out) {
   std::mutex out_mutex;
-
-  auto emit = [&](const std::string& response) {
+  auto emit = [&out, &out_mutex](std::string&& response) {
     const std::lock_guard<std::mutex> lock(out_mutex);
     out << response << '\n';
     out.flush();  // responses must reach the pipe before the next request
   };
 
-  std::vector<std::thread> workers;
-  workers.reserve(dispatchers);
-  for (unsigned i = 0; i < dispatchers; ++i) {
-    workers.emplace_back([&] {
-      std::string line;
-      while (queue.pop(line)) emit(handle_line(line));
-    });
-  }
-
   std::string line;
-  while (std::getline(in, line)) {
+  while (!drain_requested() && std::getline(in, line)) {
     if (line.empty()) continue;  // blank lines are keepalives, not requests
     bool dropped = false;
     NDET_INJECT("serve.accept", {
@@ -344,14 +616,55 @@ void Server::serve_stream(std::istream& in, std::ostream& out) {
       dropped = true;
     });
     if (dropped) continue;
-    queue.push(std::move(line));
+    (void)submit(std::move(line), emit);
+    line.clear();
     if (is_cancelled(lifetime_.get())) break;
   }
-  queue.close();
-  for (std::thread& worker : workers) worker.join();
+
+  if (drain_requested()) {
+    begin_drain();
+    // The drain budget bounds in-flight work; cancellation latency is one
+    // fork-join body, so a short grace period after the budget suffices.
+    return wait_drained(options_.drain_ms + 10000);
+  }
+  // Plain EOF: no deadline is forced on in-flight work; wait for every
+  // admitted line's response, then stop.
+  return wait_drained(0);
 }
 
-void Server::serve_tcp(int port, const std::function<void(int)>& ready) {
+namespace {
+
+/// Per-connection write state: dispatcher threads respond through this,
+/// the handler thread waits for `outstanding` to hit zero before closing.
+struct TcpConn {
+  explicit TcpConn(int fd_in) : fd(fd_in) {}
+  int fd;
+  std::mutex mutex;
+  std::condition_variable all_done;
+  int outstanding = 0;
+  bool write_failed = false;
+};
+
+void write_line(const std::shared_ptr<TcpConn>& conn,
+                const std::string& response) {
+  const std::lock_guard<std::mutex> lock(conn->mutex);
+  if (conn->write_failed) return;
+  const std::string payload = response + "\n";
+  std::size_t written = 0;
+  while (written < payload.size()) {
+    const ssize_t n = ::write(conn->fd, payload.data() + written,
+                              payload.size() - written);
+    if (n <= 0) {
+      conn->write_failed = true;
+      return;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+bool Server::serve_tcp(int port, const std::function<void(int)>& ready) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   require(fd >= 0, "serve_tcp: socket() failed");
   const int one = 1;
@@ -376,11 +689,23 @@ void Server::serve_tcp(int port, const std::function<void(int)>& ready) {
   listen_fd_.store(fd, std::memory_order_release);
   if (ready) ready(static_cast<int>(ntohs(bound.sin_port)));
 
-  std::vector<std::thread> connections;
+  std::vector<std::thread> handlers;
+  std::mutex conns_mutex;
+  std::vector<std::shared_ptr<TcpConn>> conns;  // live + closed (fd = -1)
+
   while (true) {
     const int client = ::accept(fd, nullptr, nullptr);
-    if (client < 0) break;  // shutdown() closed the listener
+    if (client < 0) {
+      if (errno == EINTR && !drain_requested() &&
+          !is_cancelled(lifetime_.get()))
+        continue;
+      break;  // shutdown() closed the listener, or a drain signal arrived
+    }
     if (is_cancelled(lifetime_.get())) {
+      ::close(client);
+      break;
+    }
+    if (drain_requested()) {
       ::close(client);
       break;
     }
@@ -390,37 +715,85 @@ void Server::serve_tcp(int port, const std::function<void(int)>& ready) {
       dropped = true;
     });
     if (dropped) continue;
-    connections.emplace_back([this, client] {
+
+    // The connection cap: excess clients get one typed shed line, never a
+    // silent RST, and the handler-thread population stays bounded.
+    const unsigned active =
+        active_connections_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (options_.max_connections != 0 && active > options_.max_connections) {
+      active_connections_.fetch_sub(1, std::memory_order_acq_rel);
+      rejected_connections_.fetch_add(1, std::memory_order_relaxed);
+      const std::string reject =
+          shed_response(0, "connection",
+                        "connection limit reached (" +
+                            std::to_string(options_.max_connections) + ")",
+                        retry_after_hint_ms()) +
+          "\n";
+      (void)!::write(client, reject.data(), reject.size());
+      ::close(client);
+      continue;
+    }
+
+    auto conn = std::make_shared<TcpConn>(client);
+    {
+      const std::lock_guard<std::mutex> lock(conns_mutex);
+      conns.push_back(conn);
+    }
+    handlers.emplace_back([this, conn] {
       std::string buffer;
       char chunk[4096];
       while (true) {
-        const ssize_t got = ::read(client, chunk, sizeof chunk);
-        if (got <= 0) break;
+        const ssize_t got = ::read(conn->fd, chunk, sizeof chunk);
+        if (got <= 0) break;  // EOF, error, or SHUT_RD from the drain path
         buffer.append(chunk, static_cast<std::size_t>(got));
         std::size_t newline;
         while ((newline = buffer.find('\n')) != std::string::npos) {
-          const std::string line = buffer.substr(0, newline);
+          std::string line = buffer.substr(0, newline);
           buffer.erase(0, newline + 1);
           if (line.empty()) continue;
-          const std::string response = handle_line(line) + "\n";
-          std::size_t written = 0;
-          while (written < response.size()) {
-            const ssize_t n = ::write(client, response.data() + written,
-                                      response.size() - written);
-            if (n <= 0) break;
-            written += static_cast<std::size_t>(n);
+          {
+            const std::lock_guard<std::mutex> lock(conn->mutex);
+            ++conn->outstanding;
           }
+          (void)submit(std::move(line), [conn](std::string&& response) {
+            write_line(conn, response);
+            const std::lock_guard<std::mutex> lock(conn->mutex);
+            if (--conn->outstanding == 0) conn->all_done.notify_all();
+          });
         }
         if (is_cancelled(lifetime_.get())) break;
       }
-      ::close(client);
+      // Every submitted line still owes its response; the dispatchers are
+      // guaranteed to deliver (drain deadline or hard cancel), so this
+      // wait terminates.
+      {
+        std::unique_lock<std::mutex> lock(conn->mutex);
+        conn->all_done.wait(lock, [&] { return conn->outstanding == 0; });
+      }
+      ::close(conn->fd);
+      conn->fd = -1;
+      active_connections_.fetch_sub(1, std::memory_order_acq_rel);
     });
   }
-  for (std::thread& connection : connections) connection.join();
+
+  bool clean = true;
+  if (drain_requested() && !is_cancelled(lifetime_.get())) {
+    begin_drain();
+    // Wake handler threads blocked in read(): stop reading, keep writing
+    // until each connection's in-flight responses are delivered.
+    {
+      const std::lock_guard<std::mutex> lock(conns_mutex);
+      for (const std::shared_ptr<TcpConn>& conn : conns)
+        if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RD);
+    }
+    clean = wait_drained(options_.drain_ms + 10000);
+  }
+  for (std::thread& handler : handlers) handler.join();
   // shutdown() usually closed the fd already; close again is harmless only
   // if we still own it.
   const int owned = listen_fd_.exchange(-1, std::memory_order_acq_rel);
   if (owned >= 0) ::close(owned);
+  return clean;
 }
 
 }  // namespace ndet::serve

@@ -1,41 +1,65 @@
-// server.hpp -- ndetd's request engine: admission, dispatch, telemetry.
+// server.hpp -- ndetd's request engine: admission, dispatch, telemetry,
+// and lifecycle.
 //
-// Threading model (documented in DESIGN.md "Analysis as a service"):
+// Threading model (documented in DESIGN.md "Analysis as a service" and
+// "Overload and lifecycle"):
 //
-//   acceptor --> bounded queue --> dispatchers --> session cache --> pool
+//   acceptor --> admission queue --> dispatchers --> session cache --> pool
 //
-// One ACCEPTOR thread reads request lines (stdin or a TCP connection) and
-// enqueues them; `concurrency` DISPATCHER threads drain the queue, each
-// running handle_line() -- parse, lease the circuit's cached session, run
-// the requested stage, respond -- and write responses under one output
-// mutex (ids let clients match pipelined responses out of order).  Requests
-// for different circuits run concurrently; requests for the same cache key
-// serialize on the entry's lease.  The thread-width budget is split so the
-// machine is never oversubscribed: each cached session's fork-join pool is
-// `threads / concurrency` wide (the same outer/inner split run_batch uses).
+// ACCEPTOR threads (stdin reader or TCP connection handlers) submit()
+// request lines; admission is bounded by depth and bytes with an explicit
+// priority-laned shedding policy (serve/admission.hpp): a line either
+// enters the queue or gets a typed ResourceExhausted response carrying a
+// `retry_after_ms` hint -- never a silent drop.  `concurrency` DISPATCHER
+// threads drain the queue interactive-lane-first, each running
+// handle_line() -- parse, lease the circuit's cached session, run the
+// requested stage, respond through the line's transport responder.
+// Requests for different circuits run concurrently; requests for the same
+// cache key serialize on the entry's lease (interactive acquires first).
+// The thread-width budget is split so the machine is never oversubscribed:
+// each cached session's fork-join pool is `threads / concurrency` wide
+// (the same outer/inner split run_batch uses).
+//
+// Lifecycle: request_drain() (async-signal-safe) or begin_drain() moves
+// the server from SERVING to DRAINING -- admission stops (new analysis
+// lines are shed as "draining"; ping/stats/health still answer so load
+// balancers see the state flip), already-admitted work finishes under a
+// `drain_ms` budget (the drain deadline is armed onto every in-flight and
+// later-created request token, labeled "drain budget" so responses
+// distinguish it from per-request deadlines), and wait_drained() blocks
+// until every accepted line has its response.  This is distinct from hard
+// shutdown(), which cancels the lifetime token and aborts in-flight work
+// as Cancelled.
 //
 // Per-request deadlines arm a FRESH CancelToken chained under the server's
-// lifetime token (shutdown() cancels in-flight work), and the session is
-// rearm()ed with it for the duration of the lease.  Failures map onto the
-// typed error taxonomy in the response envelope; an aborted stage never
-// populates its memo slot, so a deadline'd request can never poison the
-// cache -- the next request for the key simply reruns the stage.
+// lifetime token, and the session is rearm()ed with it for the duration of
+// the lease.  Failures map onto the typed error taxonomy in the response
+// envelope; an aborted stage never populates its memo slot, so a
+// deadline'd request can never poison the cache -- the next request for
+// the key simply reruns the stage.
 //
 // handle_line() is synchronous and thread-safe, so embedders (tests, the
-// in-process load generator) can drive the server without any I/O plumbing.
+// in-process load generator) can drive the server without any I/O
+// plumbing; submit() is the admission-controlled path the transports use.
 
 #pragma once
 
 #include <array>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <list>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "serve/admission.hpp"
 #include "serve/protocol.hpp"
 #include "serve/session_cache.hpp"
 
@@ -59,6 +83,12 @@ class LatencyHistogram {
   std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
 };
 
+/// The drain state machine: SERVING -> DRAINING -> STOPPED, one-way.
+enum class ServerState { kServing, kDraining, kStopped };
+
+/// Stable wire name ("serving" / "draining" / "stopped").
+const char* to_string(ServerState state);
+
 struct ServerOptions {
   std::size_t cache_bytes = 64u << 20;  ///< LRU byte budget (0 = unbounded)
   unsigned concurrency = 4;             ///< dispatcher threads
@@ -66,15 +96,29 @@ struct ServerOptions {
   int max_inputs = 20;   ///< default per-request exhaustive budget
   SetRepresentation representation = SetRepresentation::kAdaptive;
   std::size_t max_line_bytes = 1u << 20;  ///< admission cap per request line
+  std::size_t max_queue_depth = 256;   ///< admission depth bound (0 = off)
+  std::size_t max_queue_bytes = 8u << 20;  ///< admission byte bound (0 = off)
+  unsigned max_connections = 64;  ///< concurrent TCP clients (0 = unbounded)
+  std::uint64_t drain_ms = 5000;  ///< drain budget for in-flight work
 };
 
 class Server {
  public:
+  /// Delivers one response line (no trailing newline) to the transport.
+  /// Invoked exactly once per submitted line.
+  using Responder = std::function<void(std::string&&)>;
+
   explicit Server(ServerOptions options = {});
+
+  /// Joins dispatchers after draining the queue: every admitted line still
+  /// gets its response (as Cancelled errors once shutdown() ran).
+  ~Server();
 
   /// Handles one request line end to end and returns the response line
   /// (without trailing newline).  Never throws: every failure becomes an
-  /// error response.  Thread-safe.
+  /// error response.  Thread-safe.  Bypasses admission control EXCEPT for
+  /// drain mode: once draining, analysis requests are shed (ping, stats
+  /// and health still answer).
   std::string handle_line(const std::string& line);
 
   /// Like handle_line, also reporting the error kind of a failed request
@@ -82,25 +126,75 @@ class Server {
   std::string handle_line(const std::string& line,
                           std::optional<ErrorKind>* failure);
 
-  /// Acceptor + dispatcher loop over a stream pair; returns at EOF after
-  /// all responses are flushed.
-  void serve_stream(std::istream& in, std::ostream& out);
+  /// The admission-controlled path: sheds when the queue is full (typed
+  /// ResourceExhausted + retry_after_ms, priority-honoring displacement)
+  /// or the server is draining; otherwise enqueues for the dispatcher
+  /// pool.  `respond` is invoked exactly once -- synchronously for sheds
+  /// and for ping/stats/health (which must stay answerable under
+  /// overload), later on a dispatcher thread otherwise.  Returns true when
+  /// the line was admitted to the queue (false = answered synchronously).
+  bool submit(std::string line, Responder respond);
+
+  /// Acceptor + dispatcher loop over a stream pair; returns at EOF (after
+  /// all responses are flushed) or after request_drain().  False when a
+  /// drain timed out with work still un-responded.
+  bool serve_stream(std::istream& in, std::ostream& out);
 
   /// TCP listener on 127.0.0.1:`port` (0 = ephemeral); `ready` is invoked
   /// with the bound port before accepting.  One connection handler thread
-  /// per client, each running the line loop.  Returns after shutdown().
-  void serve_tcp(int port, const std::function<void(int)>& ready = {});
+  /// per client up to `max_connections` (excess connections receive a
+  /// single ResourceExhausted response line and are closed).  Handlers are
+  /// joined before returning.  Returns after shutdown() or a completed
+  /// drain; false when the drain timed out.
+  bool serve_tcp(int port, const std::function<void(int)>& ready = {});
+
+  /// Async-signal-safe drain trigger (one atomic store): the transport
+  /// loops observe it and run begin_drain().  SIGTERM/SIGINT handlers call
+  /// this.
+  void request_drain() { drain_requested_.store(true, std::memory_order_release); }
+
+  bool drain_requested() const {
+    return drain_requested_.load(std::memory_order_acquire);
+  }
+
+  /// SERVING -> DRAINING: stops admitting analysis work and arms the
+  /// drain-budget deadline (labeled "drain budget") on every in-flight
+  /// request token.  Idempotent.
+  void begin_drain();
+
+  /// Blocks until every accepted line has been responded to, or
+  /// `timeout_ms` passed (0 = wait forever).  On success flips the state
+  /// to STOPPED and stops the dispatchers.  True = fully drained.
+  bool wait_drained(std::uint64_t timeout_ms);
+
+  ServerState state() const { return state_.load(std::memory_order_acquire); }
 
   /// Cancels the lifetime token (in-flight requests abort as Cancelled) and
-  /// wakes the accept loop.
+  /// wakes the accept loop.  The hard stop; see begin_drain for the
+  /// graceful one.
   void shutdown();
 
   /// The server-wide counters as a JSON object (the "stats" response body).
   std::string stats_json() const;
 
+  /// The "health" response body: {"state":"serving|draining|overloaded",
+  /// "queue_depth":...,"connections":...,"retry_after_ms":...}.  The state
+  /// reports "overloaded" while serving with the queue past its high-water
+  /// mark, so load balancers can back off before shedding starts.
+  std::string health_json() const;
+
+  /// The server's current backoff hint: expected queue wait derived from
+  /// an EWMA of service time and the live queue depth, clamped to
+  /// [1, 30000] ms.
+  std::uint64_t retry_after_hint_ms() const;
+
   SessionCache& cache() { return cache_; }
   const std::shared_ptr<CancelToken>& lifetime_token() const {
     return lifetime_;
+  }
+  AdmissionStats admission_stats() const { return queue_.stats(); }
+  std::uint64_t rejected_connections() const {
+    return rejected_connections_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -111,19 +205,51 @@ class Server {
     LatencyHistogram latency;
   };
 
+  std::string process_line(const std::string& line,
+                           std::optional<ErrorKind>* failure,
+                           bool admitted_before_drain);
   std::string run_request(const Request& request,
-                          std::optional<ErrorKind>* failure);
+                          std::optional<ErrorKind>* failure,
+                          bool admitted_before_drain);
   TypeCounters& counters_for(RequestType type);
+  void ensure_dispatchers();
+  void dispatch_loop();
+  void stop_dispatchers();
+  /// Wraps a transport responder with the pending-line accounting behind
+  /// wait_drained()/serve_stream teardown.
+  Responder track(Responder respond);
+  void record_service(double seconds);
+  bool overloaded() const;
 
   ServerOptions options_;
   SessionOptions session_base_;
   SessionCache cache_;
   std::shared_ptr<CancelToken> lifetime_;
+  AdmissionQueue queue_;
   std::atomic<std::uint64_t> malformed_{0};
   std::atomic<std::uint64_t> accepted_{0};
-  std::array<TypeCounters, 5> by_type_{};  ///< indexed by RequestType
+  std::array<TypeCounters, kNumRequestTypes> by_type_{};
+  std::array<TypeCounters, 2> by_priority_{};  ///< indexed by Priority
   std::atomic<int> listen_fd_{-1};
   std::chrono::steady_clock::time_point start_time_;
+
+  std::atomic<ServerState> state_{ServerState::kServing};
+  std::atomic<bool> drain_requested_{false};
+  std::atomic<std::int64_t> drain_deadline_ns_{0};  ///< set by begin_drain
+  std::atomic<std::int64_t> pending_{0};  ///< admitted lines awaiting response
+  std::mutex drain_mutex_;
+  std::condition_variable drained_cv_;
+
+  std::mutex dispatcher_mutex_;
+  std::vector<std::thread> dispatchers_;
+  bool dispatchers_stopped_ = false;
+
+  std::mutex active_mutex_;
+  std::list<std::weak_ptr<CancelToken>> active_tokens_;
+
+  std::atomic<std::uint64_t> ewma_service_us_{500};
+  std::atomic<std::uint64_t> rejected_connections_{0};
+  std::atomic<unsigned> active_connections_{0};
 };
 
 }  // namespace ndet::serve

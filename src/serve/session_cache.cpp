@@ -12,7 +12,8 @@ SessionCache::SessionCache(std::size_t budget_bytes, SessionOptions base)
   stats_.budget_bytes = budget_bytes;
 }
 
-SessionCache::Lease SessionCache::acquire(const CacheKey& key) {
+SessionCache::Lease SessionCache::acquire(const CacheKey& key,
+                                          Priority priority) {
   std::shared_ptr<Entry> entry;
   bool hit = false;
   {
@@ -37,9 +38,26 @@ SessionCache::Lease SessionCache::acquire(const CacheKey& key) {
     ++entry->pins;
   }
 
-  // The entry mutex is taken OUTSIDE the cache mutex (a slow request on
-  // this key must not block unrelated keys), and the session is constructed
-  // under it so concurrent first requests for one key build exactly once.
+  // The entry's busy handoff happens OUTSIDE the cache mutex (a slow
+  // request on this key must not block unrelated keys), and the session is
+  // constructed under the busy flag so concurrent first requests for one
+  // key build exactly once.  Batch acquires additionally yield to every
+  // blocked interactive acquire -- the lease-level priority lane.
+  {
+    std::unique_lock<std::mutex> lock(entry->mutex);
+    if (priority == Priority::kInteractive) {
+      ++entry->interactive_waiters;
+      entry->available.wait(lock, [&] { return !entry->busy; });
+      --entry->interactive_waiters;
+    } else {
+      ++entry->batch_waiters;
+      entry->available.wait(lock, [&] {
+        return !entry->busy && entry->interactive_waiters == 0;
+      });
+      --entry->batch_waiters;
+    }
+    entry->busy = true;
+  }
   Lease lease(this, entry, hit);
   if (entry->session == nullptr) {
     try {
@@ -145,9 +163,30 @@ bool SessionCache::contains(const CacheKey& key) const {
   return false;
 }
 
+int SessionCache::waiters(const CacheKey& key) const {
+  std::shared_ptr<Entry> entry;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const std::shared_ptr<Entry>& candidate : entries_)
+      if (candidate->key == key) {
+        entry = candidate;
+        break;
+      }
+  }
+  if (entry == nullptr) return 0;
+  const std::lock_guard<std::mutex> lock(entry->mutex);
+  return entry->interactive_waiters + entry->batch_waiters;
+}
+
 SessionCache::Lease::~Lease() {
   if (entry_ == nullptr) return;
-  lock_.unlock();
+  {
+    const std::lock_guard<std::mutex> lock(entry_->mutex);
+    entry_->busy = false;
+  }
+  // notify_all: the next owner may be any interactive waiter, or -- only
+  // when none are blocked -- a batch waiter; the predicates sort it out.
+  entry_->available.notify_all();
   const std::lock_guard<std::mutex> lock(cache_->mutex_);
   --entry_->pins;
 }

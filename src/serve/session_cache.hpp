@@ -14,10 +14,16 @@
 // (circuit, options), reproduces bit-identical results.
 //
 // Concurrency: the cache map and counters sit behind one mutex that is
-// never held across analysis work.  Each entry carries its own mutex; a
-// Lease holds it for the duration of one request, so concurrent requests
+// never held across analysis work.  Each entry carries its own busy flag;
+// a Lease holds it for the duration of one request, so concurrent requests
 // for the SAME key serialize on the entry (sessions are externally
 // synchronized) while requests for different keys run fully in parallel.
+// Contended entries hand off by PRIORITY, not arrival: a batch-priority
+// acquire waits not just for the entry to free but for every interactive
+// waiter to go first, so a flood of heavy batch requests queued on one hot
+// circuit cannot starve an interactive request for the same key (lease
+// fairness mirrors the admission queue's lanes; within a priority the
+// condition-variable handoff is unordered, which is fine -- equal work).
 // Leases also pin their entry: an entry evicted while leased just leaves
 // the map (the shared_ptr keeps the session alive until the lease drops),
 // so eviction can never invalidate an in-flight request.
@@ -31,6 +37,7 @@
 
 #pragma once
 
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -39,6 +46,7 @@
 #include <vector>
 
 #include "core/session.hpp"
+#include "serve/admission.hpp"
 
 namespace ndet::serve {
 
@@ -83,10 +91,17 @@ class SessionCache {
   class Lease;
 
   /// Returns a lease on the key's session, admitting (and constructing) it
-  /// on a miss.  Blocks while another lease holds the same entry.  Throws
+  /// on a miss.  Blocks while another lease holds the same entry; on a
+  /// contended entry, interactive acquires are handed the lease before any
+  /// waiting batch acquire (see the fairness note above).  Throws
   /// Error{kInvalidInput} when the circuit cannot be resolved (the entry is
   /// not admitted).
-  Lease acquire(const CacheKey& key);
+  Lease acquire(const CacheKey& key,
+                Priority priority = Priority::kInteractive);
+
+  /// Number of acquires currently blocked on the key's entry (telemetry
+  /// and the fairness tests); 0 for unknown keys.
+  int waiters(const CacheKey& key) const;
 
   /// Re-charges the leased entry to its session's current
   /// set_memory_bytes() and evicts least-recently-used unpinned entries
@@ -111,8 +126,12 @@ class SessionCache {
  private:
   struct Entry {
     CacheKey key;
-    std::mutex mutex;               ///< serializes requests on the session
-    std::unique_ptr<AnalysisSession> session;  ///< built under mutex on admit
+    std::mutex mutex;               ///< guards busy/waiter handoff state
+    std::condition_variable available;  ///< lease handoff (priority-aware)
+    bool busy = false;              ///< a lease currently owns the session
+    int interactive_waiters = 0;    ///< blocked interactive acquires
+    int batch_waiters = 0;          ///< blocked batch acquires
+    std::unique_ptr<AnalysisSession> session;  ///< built under lease on admit
     std::size_t charged = 0;        ///< bytes currently billed to the budget
     std::uint64_t last_use = 0;     ///< recency stamp (monotone counter)
     int pins = 0;                   ///< live leases (guarded by cache mutex)
@@ -130,9 +149,10 @@ class SessionCache {
   SessionCacheStats stats_;
 
  public:
-  /// RAII request-scoped handle: holds the entry's mutex and pin.  Movable,
-  /// not copyable.  The destructor releases lock and pin only; byte
-  /// accounting is the explicit update() call.
+  /// RAII request-scoped handle: owns the entry's busy flag and pin.
+  /// Movable, not copyable.  The destructor hands the entry to the next
+  /// waiter (interactive first) and releases the pin only; byte accounting
+  /// is the explicit update() call.
   class Lease {
    public:
     Lease(Lease&&) noexcept = default;
@@ -146,13 +166,11 @@ class SessionCache {
    private:
     friend class SessionCache;
     Lease(SessionCache* cache, std::shared_ptr<Entry> entry, bool hit)
-        : cache_(cache), entry_(std::move(entry)), hit_(hit),
-          lock_(entry_->mutex) {}
+        : cache_(cache), entry_(std::move(entry)), hit_(hit) {}
 
     SessionCache* cache_;
     std::shared_ptr<Entry> entry_;
     bool hit_;
-    std::unique_lock<std::mutex> lock_;
   };
 };
 

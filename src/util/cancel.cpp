@@ -50,6 +50,11 @@ void CancelToken::set_deadline(std::chrono::steady_clock::time_point deadline) {
   }
 }
 
+void CancelToken::label_deadline(const std::string& label) {
+  const std::lock_guard<std::mutex> lock(reason_mutex_);
+  if (deadline_label_.empty()) deadline_label_ = label;
+}
+
 void CancelToken::chain_parent(std::shared_ptr<const CancelToken> parent) {
   parent_ = std::move(parent);
 }
@@ -89,9 +94,11 @@ ErrorKind CancelToken::kind() const {
 }
 
 std::string CancelToken::reason() const {
-  if (state_.load(std::memory_order_relaxed) == kByDeadline)
-    return "deadline exceeded";
   const std::lock_guard<std::mutex> lock(reason_mutex_);
+  if (state_.load(std::memory_order_relaxed) == kByDeadline)
+    return (deadline_label_.empty() ? std::string("deadline")
+                                    : deadline_label_) +
+           " exceeded";
   return reason_.empty() ? "cancelled" : reason_;
 }
 

@@ -112,6 +112,15 @@ class CancelToken {
   /// Absolute variant of set_deadline_after_ms.
   void set_deadline(std::chrono::steady_clock::time_point deadline);
 
+  /// Names the deadline so a fired one reports "<label> exceeded" instead
+  /// of the generic "deadline exceeded" -- the serving layer labels its
+  /// drain budget this way, keeping a drained-out request distinguishable
+  /// from an ordinary per-request deadline in responses and logs.  The
+  /// error KIND stays kDeadlineExceeded either way (drain is a deadline,
+  /// not a caller cancel).  First label wins; thread-safe (a drain may
+  /// label tokens already shared with pollers).
+  void label_deadline(const std::string& label);
+
   /// Chains a parent token: once the parent fires, this token latches with
   /// the parent's kind and reason on the next poll, so a batch- or
   /// server-wide cancel propagates into every per-request token without the
@@ -155,6 +164,7 @@ class CancelToken {
   mutable std::atomic<std::int64_t> deadline_ns_{kNoDeadline};
   mutable std::mutex reason_mutex_;
   mutable std::string reason_;
+  std::string deadline_label_;  ///< guarded by reason_mutex_ (label_deadline)
   std::shared_ptr<const CancelToken> parent_;  ///< set-once, pre-sharing
 };
 

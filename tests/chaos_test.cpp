@@ -220,6 +220,99 @@ TEST(Chaos, DaemonSurvivesInjectedServeFaults) {
   fault_inject::disarm_all();
 }
 
+/// Randomly tags a well-formed line with batch priority so the overload
+/// cycles exercise both admission lanes (malformed lines pass through
+/// untouched -- they default to interactive).
+std::string with_random_priority(std::string line, std::mt19937& rng) {
+  if (!line.empty() && line.back() == '}' &&
+      std::uniform_int_distribution<int>(0, 1)(rng) == 0) {
+    line.pop_back();
+    line += ",\"priority\":\"batch\"}";
+  }
+  return line;
+}
+
+/// One overload+drain cycle: hostile clients flood a tiny admission queue
+/// (optionally with serve.queue_full / serve.drain faults armed) while the
+/// server may start draining mid-load.  The contract under ASan/TSan:
+/// every submitted line gets EXACTLY one parseable response, and no lease
+/// leaks (a drained cache flushes to zero entries).
+void overload_drain_cycle(std::uint32_t seed, bool drain_mid_load) {
+  serve::ServerOptions options;
+  options.cache_bytes = 16u << 10;
+  options.concurrency = 2;
+  options.threads = 2;
+  options.max_queue_depth = 4;  // small enough that the flood must shed
+  options.drain_ms = 500;
+  serve::Server server(options);
+
+  const std::size_t target = chaos_request_target();
+  constexpr int kClients = 3;
+  std::atomic<std::size_t> submitted{0};
+  std::atomic<std::size_t> responses{0};
+  std::atomic<std::size_t> bad_responses{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      std::mt19937 rng(seed + static_cast<std::uint32_t>(c));
+      for (std::size_t i = 0; i < (target + kClients - 1) / kClients; ++i) {
+        const std::uint64_t id = static_cast<std::uint64_t>(c) * 1000000 + i;
+        submitted.fetch_add(1);
+        server.submit(
+            with_random_priority(chaos_line(rng, id), rng),
+            [&](std::string&& response) {
+              responses.fetch_add(1);
+              try {
+                const json::Value v = json::parse(response);
+                (void)v.at("ok").as_bool();
+                (void)v.at("id").as_uint64();
+              } catch (const Error&) {
+                bad_responses.fetch_add(1);
+              }
+            });
+      }
+    });
+  }
+  if (drain_mid_load) {
+    // Drain while the clients are still submitting: late lines shed as
+    // draining, admitted lines finish or hit the drain budget -- either
+    // way they respond.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    server.begin_drain();
+  }
+  for (std::thread& client : clients) client.join();
+  ASSERT_TRUE(server.wait_drained(60000));
+
+  // The exactly-one-response invariant, under overload, faults and drain.
+  EXPECT_EQ(responses.load(), submitted.load());
+  EXPECT_EQ(bad_responses.load(), 0u);
+
+  // Zero leaked leases: nothing pins the cache once drained, so a flush
+  // must empty it completely.
+  server.cache().flush();
+  EXPECT_EQ(server.cache().stats().entries, 0u);
+  EXPECT_EQ(server.cache().stats().bytes, 0u);
+}
+
+TEST(Chaos, OverloadCycleAnswersEveryLine) {
+  if (fault_inject::kCompiled) fault_inject::arm("serve.queue_full", 0.05, 60);
+  overload_drain_cycle(20050307, /*drain_mid_load=*/false);
+  if (fault_inject::kCompiled) {
+    EXPECT_GT(fault_inject::poll_count("serve.queue_full"), 0u);
+    fault_inject::disarm_all();
+  }
+}
+
+TEST(Chaos, DrainUnderLoadAnswersEveryLineAndLeaksNothing) {
+  if (fault_inject::kCompiled) {
+    fault_inject::arm("serve.queue_full", 0.05, 61);
+    fault_inject::arm("serve.drain", 0.05, 62);
+  }
+  overload_drain_cycle(19450508, /*drain_mid_load=*/true);
+  overload_drain_cycle(19391101, /*drain_mid_load=*/true);
+  if (fault_inject::kCompiled) fault_inject::disarm_all();
+}
+
 TEST(Chaos, InjectedFaultsSurfaceAsTypedErrors) {
   if (!fault_inject::kCompiled)
     GTEST_SKIP() << "fault injection compiled out (-DNDET_FAULT_INJECT=OFF)";

@@ -443,5 +443,472 @@ TEST(Server, ConcurrentMixedRequestsAllSucceedAndMatch) {
   EXPECT_GT(server.cache().stats().evictions, 0u);
 }
 
+// --- admission queue --------------------------------------------------------
+
+AdmittedLine make_line(const std::string& text, Priority priority,
+                       std::uint64_t id = 0) {
+  AdmittedLine line;
+  line.line = text;
+  line.priority = priority;
+  line.id = id;
+  line.type_name = "test";
+  line.respond = [](std::string&&) {};
+  return line;
+}
+
+TEST(AdmissionQueue, InteractiveLaneDispatchesFirstFifoWithinLane) {
+  AdmissionQueue queue(/*max_depth=*/0, /*max_bytes=*/0);
+  std::vector<AdmittedLine> displaced;
+  AdmittedLine b1 = make_line("b1", Priority::kBatch, 1);
+  AdmittedLine b2 = make_line("b2", Priority::kBatch, 2);
+  AdmittedLine i1 = make_line("i1", Priority::kInteractive, 3);
+  AdmittedLine i2 = make_line("i2", Priority::kInteractive, 4);
+  ASSERT_TRUE(queue.offer(b1, &displaced));
+  ASSERT_TRUE(queue.offer(b2, &displaced));
+  ASSERT_TRUE(queue.offer(i1, &displaced));
+  ASSERT_TRUE(queue.offer(i2, &displaced));
+  EXPECT_TRUE(displaced.empty());
+
+  // Deterministic at the queue level: both interactive entries first, each
+  // lane in admission order.
+  std::vector<std::string> order;
+  AdmittedLine out;
+  while (queue.try_pop(out)) order.push_back(out.line);
+  EXPECT_EQ(order, (std::vector<std::string>{"i1", "i2", "b1", "b2"}));
+}
+
+TEST(AdmissionQueue, DepthBoundShedsNewestAndCountsByPriority) {
+  AdmissionQueue queue(/*max_depth=*/2, /*max_bytes=*/0);
+  std::vector<AdmittedLine> displaced;
+  AdmittedLine a = make_line("a", Priority::kBatch);
+  AdmittedLine b = make_line("b", Priority::kBatch);
+  AdmittedLine c = make_line("c", Priority::kBatch);
+  ASSERT_TRUE(queue.offer(a, &displaced));
+  ASSERT_TRUE(queue.offer(b, &displaced));
+  EXPECT_FALSE(queue.offer(c, &displaced));
+  // The rejected line keeps its payload (and its responder with it).
+  EXPECT_EQ(c.line, "c");
+  EXPECT_TRUE(static_cast<bool>(c.respond));
+  const AdmissionStats stats = queue.stats();
+  EXPECT_EQ(stats.depth, 2u);
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_EQ(stats.shed_batch, 1u);
+  EXPECT_EQ(stats.shed_interactive, 0u);
+  EXPECT_EQ(stats.displaced, 0u);
+}
+
+TEST(AdmissionQueue, ByteBoundSheds) {
+  AdmissionQueue queue(/*max_depth=*/0, /*max_bytes=*/8);
+  std::vector<AdmittedLine> displaced;
+  AdmittedLine small = make_line("12345", Priority::kBatch);
+  AdmittedLine big = make_line("123456", Priority::kBatch);
+  ASSERT_TRUE(queue.offer(small, &displaced));
+  EXPECT_FALSE(queue.offer(big, &displaced));  // 5 + 6 > 8
+  EXPECT_EQ(queue.stats().bytes, 5u);
+}
+
+TEST(AdmissionQueue, InteractiveDisplacesNewestBatchEntries) {
+  AdmissionQueue queue(/*max_depth=*/2, /*max_bytes=*/0);
+  std::vector<AdmittedLine> displaced;
+  AdmittedLine b1 = make_line("b1", Priority::kBatch, 1);
+  AdmittedLine b2 = make_line("b2", Priority::kBatch, 2);
+  AdmittedLine i1 = make_line("i1", Priority::kInteractive, 3);
+  ASSERT_TRUE(queue.offer(b1, &displaced));
+  ASSERT_TRUE(queue.offer(b2, &displaced));
+  // Full queue, but an interactive offer displaces the NEWEST batch entry.
+  ASSERT_TRUE(queue.offer(i1, &displaced));
+  ASSERT_EQ(displaced.size(), 1u);
+  EXPECT_EQ(displaced[0].line, "b2");
+  EXPECT_TRUE(static_cast<bool>(displaced[0].respond));
+
+  const AdmissionStats stats = queue.stats();
+  EXPECT_EQ(stats.displaced, 1u);
+  EXPECT_EQ(stats.shed_batch, 1u);
+
+  std::vector<std::string> order;
+  AdmittedLine out;
+  while (queue.try_pop(out)) order.push_back(out.line);
+  EXPECT_EQ(order, (std::vector<std::string>{"i1", "b1"}));
+}
+
+TEST(AdmissionQueue, BatchNeverDisplaces) {
+  AdmissionQueue queue(/*max_depth=*/1, /*max_bytes=*/0);
+  std::vector<AdmittedLine> displaced;
+  AdmittedLine i1 = make_line("i1", Priority::kInteractive);
+  AdmittedLine b1 = make_line("b1", Priority::kBatch);
+  ASSERT_TRUE(queue.offer(i1, &displaced));
+  EXPECT_FALSE(queue.offer(b1, &displaced));
+  EXPECT_TRUE(displaced.empty());
+}
+
+TEST(AdmissionQueue, CloseShedsNewOffersButDrainsQueuedLines) {
+  AdmissionQueue queue(0, 0);
+  std::vector<AdmittedLine> displaced;
+  AdmittedLine queued = make_line("queued", Priority::kBatch);
+  ASSERT_TRUE(queue.offer(queued, &displaced));
+  queue.close();
+  AdmittedLine late = make_line("late", Priority::kBatch);
+  EXPECT_FALSE(queue.offer(late, &displaced));
+  AdmittedLine out;
+  EXPECT_TRUE(queue.pop(out));  // close() drains, it does not drop
+  EXPECT_EQ(out.line, "queued");
+  EXPECT_FALSE(queue.pop(out));  // closed and empty
+}
+
+// --- protocol: priority, health, shed envelope ------------------------------
+
+TEST(Protocol, ParsesPriorityAndHealth) {
+  EXPECT_EQ(parse_priority("interactive"), Priority::kInteractive);
+  EXPECT_EQ(parse_priority("batch"), Priority::kBatch);
+  EXPECT_THROW((void)parse_priority("urgent"), Error);
+
+  const Request plain = parse_request(
+      R"({"id":1,"type":"worst_case","circuit":"bbtas"})");
+  EXPECT_EQ(plain.priority, Priority::kInteractive);  // the default
+  const Request batch = parse_request(
+      R"({"id":2,"type":"worst_case","circuit":"bbtas","priority":"batch"})");
+  EXPECT_EQ(batch.priority, Priority::kBatch);
+  const Request health = parse_request(R"({"id":3,"type":"health"})");
+  EXPECT_EQ(health.type, RequestType::kHealth);
+  EXPECT_THROW((void)parse_request(R"({"type":"health","circuit":"x"})"),
+               Error);
+}
+
+TEST(Protocol, ShedResponseRoundTrip) {
+  const std::string shed = shed_response(7, "worst_case", "queue full", 250);
+  EXPECT_TRUE(is_shed_response(shed));
+  EXPECT_EQ(retry_after_ms_of(shed), 250u);
+  const json::Value v = json::parse(shed);
+  EXPECT_FALSE(v.at("ok").as_bool());
+  EXPECT_EQ(v.at("id").as_uint64(), 7u);
+  EXPECT_EQ(v.at("error").at("kind").as_string(), "resource_exhausted");
+  EXPECT_EQ(v.at("error").at("retry_after_ms").as_uint64(), 250u);
+
+  // Ordinary errors -- even resource_exhausted ones without the hint -- are
+  // NOT retry triggers.
+  const std::string plain = error_response(
+      8, "worst_case", Error(ErrorKind::kResourceExhausted, "oom"), 1.0);
+  EXPECT_FALSE(is_shed_response(plain));
+}
+
+// --- server: admission, priorities, health, drain ---------------------------
+
+/// Submits through the admission path and blocks for the response.
+std::string submit_sync(Server& server, const std::string& line) {
+  std::promise<std::string> promise;
+  std::future<std::string> future = promise.get_future();
+  server.submit(line, [&](std::string&& response) {
+    promise.set_value(std::move(response));
+  });
+  return future.get();
+}
+
+TEST(Server, SubmitShedsWhenQueueFullWithExactlyOneResponseEach) {
+  ServerOptions options = small_server();
+  options.concurrency = 1;  // one dispatcher to block
+  options.max_queue_depth = 2;
+  Server server(options);
+
+  // Occupy the dispatcher with a slow request (keyb's exhaustive stage,
+  // deadline-capped so the test stays fast under TSan), then wait until it
+  // has been popped off the queue.
+  std::promise<std::string> slow_promise;
+  std::future<std::string> slow_future = slow_promise.get_future();
+  server.submit(
+      R"({"id":100,"type":"worst_case","circuit":"keyb","deadline_ms":300})",
+      [&](std::string&& r) { slow_promise.set_value(std::move(r)); });
+  while (server.admission_stats().depth > 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  // Fill the queue, then overflow it: every line gets exactly one response,
+  // the overflow synchronously as a typed shed with a retry hint.
+  std::atomic<int> responses{0};
+  std::atomic<int> sheds{0};
+  for (int i = 0; i < 4; ++i) {
+    server.submit(
+        R"({"id":1,"type":"worst_case","circuit":"bbtas","priority":"batch"})",
+        [&](std::string&& response) {
+          responses.fetch_add(1);
+          if (is_shed_response(response)) {
+            sheds.fetch_add(1);
+            EXPECT_GE(retry_after_ms_of(response), 1u);
+          }
+        });
+  }
+  EXPECT_EQ(sheds.load(), 2);      // 2 queued, 2 shed (synchronously)
+  EXPECT_GE(responses.load(), 2);  // the sheds responded already
+
+  // The blocker resolves (as a deadline error -- it was capped) and the
+  // dispatcher then drains the two queued lines.
+  const std::string slow = slow_future.get();
+  EXPECT_FALSE(is_shed_response(slow));
+  while (responses.load() < 4)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(responses.load(), 4);  // exactly one response per submitted line
+  EXPECT_EQ(server.admission_stats().shed_batch, 2u);
+}
+
+TEST(Server, InteractiveDispatchesBeforeQueuedBatch) {
+  ServerOptions options = small_server();
+  options.concurrency = 1;
+  Server server(options);
+
+  std::promise<std::string> slow_promise;
+  std::future<std::string> slow_future = slow_promise.get_future();
+  server.submit(
+      R"({"id":100,"type":"worst_case","circuit":"keyb","deadline_ms":300})",
+      [&](std::string&& r) { slow_promise.set_value(std::move(r)); });
+  while (server.admission_stats().depth > 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  std::mutex order_mutex;
+  std::vector<std::string> order;
+  std::atomic<int> done{0};
+  auto record = [&](const char* tag) {
+    return [&, tag](std::string&&) {
+      const std::lock_guard<std::mutex> lock(order_mutex);
+      order.push_back(tag);
+      done.fetch_add(1);
+    };
+  };
+  // Batch enqueued FIRST, interactive second -- the dispatcher must still
+  // take the interactive lane first.
+  server.submit(
+      R"({"id":1,"type":"worst_case","circuit":"bbtas","priority":"batch"})",
+      record("batch"));
+  server.submit(
+      R"({"id":2,"type":"worst_case","circuit":"dk27","priority":"interactive"})",
+      record("interactive"));
+  (void)slow_future.get();
+  while (done.load() < 2)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(order, (std::vector<std::string>{"interactive", "batch"}));
+}
+
+TEST(Server, HealthReportsServingOverloadedAndDraining) {
+  ServerOptions options = small_server();
+  options.concurrency = 1;
+  options.max_queue_depth = 4;
+  Server server(options);
+
+  const auto health_state = [&] {
+    const std::string response =
+        server.handle_line(R"({"id":1,"type":"health"})");
+    return json::parse(response).at("result").at("state").as_string();
+  };
+  EXPECT_EQ(health_state(), "serving");
+
+  // Block the dispatcher, then fill the queue to its high-water mark.
+  std::promise<std::string> slow_promise;
+  std::future<std::string> slow_future = slow_promise.get_future();
+  server.submit(
+      R"({"id":100,"type":"worst_case","circuit":"keyb","deadline_ms":300})",
+      [&](std::string&& r) { slow_promise.set_value(std::move(r)); });
+  while (server.admission_stats().depth > 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  std::atomic<int> done{0};
+  for (int i = 0; i < 3; ++i)
+    server.submit(
+        R"({"id":1,"type":"ping"})",  // answered synchronously, never queued
+        [&](std::string&&) { done.fetch_add(1); });
+  EXPECT_EQ(done.load(), 3);
+  for (int i = 0; i < 3; ++i)
+    server.submit(
+        R"({"id":1,"type":"worst_case","circuit":"bbtas","priority":"batch"})",
+        [&](std::string&&) { done.fetch_add(1); });
+  EXPECT_EQ(health_state(), "overloaded");  // 3 of 4 = past the 3/4 mark
+
+  server.begin_drain();
+  EXPECT_EQ(health_state(), "draining");  // health still answers in drain
+  (void)slow_future.get();
+  EXPECT_TRUE(server.wait_drained(30000));
+  EXPECT_EQ(server.state(), ServerState::kStopped);
+  EXPECT_EQ(done.load(), 6);
+}
+
+TEST(Server, DrainShedsNewWorkFinishesAdmittedWorkAndStops) {
+  ServerOptions options = small_server();
+  Server server(options);
+
+  std::promise<std::string> admitted_promise;
+  std::future<std::string> admitted_future = admitted_promise.get_future();
+  server.submit(
+      R"({"id":1,"type":"worst_case","circuit":"bbtas"})",
+      [&](std::string&& r) { admitted_promise.set_value(std::move(r)); });
+
+  server.begin_drain();
+  EXPECT_EQ(server.state(), ServerState::kDraining);
+
+  // New analysis work is shed as draining; ping still answers.
+  const std::string late =
+      submit_sync(server, R"({"id":2,"type":"worst_case","circuit":"dk27"})");
+  EXPECT_TRUE(is_shed_response(late));
+  EXPECT_NE(late.find("draining"), std::string::npos) << late;
+  const std::string ping = submit_sync(server, R"({"id":3,"type":"ping"})");
+  EXPECT_NE(ping.find("\"ok\":true"), std::string::npos);
+
+  // Admitted-before-drain work still completes successfully (within the
+  // default 5s budget; bbtas takes milliseconds).
+  const std::string admitted = admitted_future.get();
+  EXPECT_NE(admitted.find("\"ok\":true"), std::string::npos) << admitted;
+  EXPECT_TRUE(server.wait_drained(30000));
+  EXPECT_EQ(server.state(), ServerState::kStopped);
+}
+
+TEST(Server, DrainBudgetDeadlinesOverBudgetWork) {
+  ServerOptions options = small_server();
+  options.drain_ms = 1;  // a budget keyb's exhaustive stage cannot meet
+  Server server(options);
+
+  std::promise<std::string> slow_promise;
+  std::future<std::string> slow_future = slow_promise.get_future();
+  server.submit(R"({"id":1,"type":"worst_case","circuit":"keyb"})",
+                [&](std::string&& r) { slow_promise.set_value(std::move(r)); });
+  server.begin_drain();
+
+  // The drain budget fires as a LABELED deadline: the response is
+  // deadline_exceeded and its message says "drain budget", so a drained-out
+  // request is distinguishable from an ordinary per-request deadline.
+  const std::string response = slow_future.get();
+  EXPECT_NE(response.find("\"kind\":\"deadline_exceeded\""), std::string::npos)
+      << response;
+  EXPECT_NE(response.find("drain budget"), std::string::npos) << response;
+  EXPECT_TRUE(server.wait_drained(30000));
+}
+
+TEST(Server, StatsExposeAdmissionAndPriorityTelemetry) {
+  ServerOptions options = small_server();
+  options.concurrency = 1;
+  options.max_queue_depth = 1;
+  Server server(options);
+
+  // One slow blocker, one queued batch line, one shed batch line.
+  std::promise<std::string> slow_promise;
+  std::future<std::string> slow_future = slow_promise.get_future();
+  server.submit(
+      R"({"id":1,"type":"worst_case","circuit":"keyb","deadline_ms":300})",
+      [&](std::string&& r) { slow_promise.set_value(std::move(r)); });
+  while (server.admission_stats().depth > 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  std::atomic<int> done{0};
+  for (int i = 0; i < 2; ++i)
+    server.submit(
+        R"({"id":2,"type":"worst_case","circuit":"bbtas","priority":"batch"})",
+        [&](std::string&&) { done.fetch_add(1); });
+  (void)slow_future.get();
+  while (done.load() < 2)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  const json::Value v =
+      json::parse(server.handle_line(R"({"id":9,"type":"stats"})"));
+  const json::Value& stats = v.at("result");
+  EXPECT_EQ(stats.at("state").as_string(), "serving");
+  const json::Value& admission = stats.at("admission");
+  EXPECT_EQ(admission.at("shed_batch").as_uint64(), 1u);
+  EXPECT_EQ(admission.at("displaced").as_uint64(), 0u);
+  EXPECT_GE(admission.at("peak_depth").as_uint64(), 1u);
+  EXPECT_GE(admission.at("admitted").as_uint64(), 2u);
+  EXPECT_EQ(admission.at("rejected_connections").as_uint64(), 0u);
+  EXPECT_GE(admission.at("retry_after_ms").as_uint64(), 1u);
+  const json::Value& priority = stats.at("priority");
+  EXPECT_GE(priority.at("interactive").at("count").as_uint64(), 1u);
+  EXPECT_EQ(priority.at("batch").at("count").as_uint64(), 1u);
+  EXPECT_GE(priority.at("batch").at("latency_ms").at("p99").as_double(), 0.0);
+}
+
+TEST(Server, TcpConnectionCapRejectsExcessWithTypedResponse) {
+  ServerOptions options = small_server();
+  options.max_connections = 1;
+  Server server(options);
+  std::promise<int> port_promise;
+  std::future<int> port_future = port_promise.get_future();
+  std::thread serving([&] {
+    server.serve_tcp(0, [&](int port) { port_promise.set_value(port); });
+  });
+  const int port = port_future.get();
+
+  const auto dial = [port] {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+              0);
+    return fd;
+  };
+  const auto read_line = [](int fd) {
+    std::string buffer;
+    char chunk[4096];
+    ssize_t got;
+    while (buffer.find('\n') == std::string::npos &&
+           (got = ::read(fd, chunk, sizeof chunk)) > 0)
+      buffer.append(chunk, static_cast<std::size_t>(got));
+    return buffer.substr(0, buffer.find('\n'));
+  };
+
+  // First connection occupies the single slot (a round trip proves the
+  // handler is live, which also proves the accept loop moved on).
+  const int first = dial();
+  const std::string ping = "{\"id\":1,\"type\":\"ping\"}\n";
+  ASSERT_EQ(::write(first, ping.data(), ping.size()),
+            static_cast<ssize_t>(ping.size()));
+  EXPECT_NE(read_line(first).find("\"ok\":true"), std::string::npos);
+
+  // Second connection: one typed shed line, then close -- never a silent
+  // reset.
+  const int second = dial();
+  const std::string rejection = read_line(second);
+  EXPECT_TRUE(is_shed_response(rejection)) << rejection;
+  EXPECT_NE(rejection.find("connection limit"), std::string::npos);
+  ::close(second);
+  EXPECT_EQ(server.rejected_connections(), 1u);
+
+  // The capped connection still serves.
+  ASSERT_EQ(::write(first, ping.data(), ping.size()),
+            static_cast<ssize_t>(ping.size()));
+  EXPECT_NE(read_line(first).find("\"ok\":true"), std::string::npos);
+  ::close(first);
+
+  server.shutdown();
+  serving.join();
+}
+
+// --- session cache: lease fairness ------------------------------------------
+
+TEST(SessionCache, InteractiveAcquireBeatsWaitingBatchAcquire) {
+  SessionCache cache(0, single_thread());
+  const CacheKey key{"bbtas"};
+
+  std::mutex order_mutex;
+  std::vector<std::string> order;
+  {
+    // Hold the entry, then line up a batch waiter FIRST and an interactive
+    // waiter second; on release the interactive one must win the handoff.
+    SessionCache::Lease held = cache.acquire(key);
+    std::thread batch([&] {
+      SessionCache::Lease lease = cache.acquire(key, Priority::kBatch);
+      const std::lock_guard<std::mutex> lock(order_mutex);
+      order.push_back("batch");
+    });
+    while (cache.waiters(key) < 1)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    std::thread interactive([&] {
+      SessionCache::Lease lease = cache.acquire(key, Priority::kInteractive);
+      const std::lock_guard<std::mutex> lock(order_mutex);
+      order.push_back("interactive");
+    });
+    while (cache.waiters(key) < 2)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    // `held` drops here; both waiters run to completion in priority order.
+    {
+      SessionCache::Lease releasing = std::move(held);
+    }
+    batch.join();
+    interactive.join();
+  }
+  EXPECT_EQ(order, (std::vector<std::string>{"interactive", "batch"}));
+}
+
 }  // namespace
 }  // namespace ndet::serve
