@@ -20,6 +20,7 @@
 // convention (124 deadline/cancel, 2 invalid input, 1 internal, 0 ok), so
 // scripts can probe the deadline contract without a client.
 
+#include <atomic>
 #include <csignal>
 #include <cstdlib>
 #include <iostream>
@@ -32,21 +33,33 @@
 
 namespace {
 
-ndet::serve::Server* g_server = nullptr;
-volatile std::sig_atomic_t g_signals_seen = 0;
+// Lock-free atomics: in a multithreaded daemon a signal may be delivered
+// on any thread, so the handler can race another handler instance AND the
+// main thread's teardown store of g_server -- plain (even volatile)
+// variables would be a data race.  Lock-free atomics are async-signal-safe.
+std::atomic<ndet::serve::Server*> g_server{nullptr};
+std::atomic<int> g_signals_seen{0};
 
 extern "C" void handle_drain_signal(int) {
   // First signal: graceful drain (one async-signal-safe atomic store).
   // Second: the operator means it -- hard kill, conventional 128+SIGINT.
-  g_signals_seen = g_signals_seen + 1;
-  if (g_signals_seen > 1) _exit(130);
-  if (g_server != nullptr) g_server->request_drain();
+  // fetch_add makes the count exact even when SIGTERM and SIGINT land
+  // concurrently, so the second signal's hard kill can never be missed.
+  if (g_signals_seen.fetch_add(1, std::memory_order_acq_rel) > 0) _exit(130);
+  ndet::serve::Server* const server =
+      g_server.load(std::memory_order_acquire);
+  if (server != nullptr) server->request_drain();
 }
 
 void install_signal_handlers() {
   struct sigaction action{};
   action.sa_handler = handle_drain_signal;
+  // Block both drain signals while a handler runs: on a single thread the
+  // handlers then mutually exclude (cross-thread delivery is covered by
+  // the atomics above).
   sigemptyset(&action.sa_mask);
+  sigaddset(&action.sa_mask, SIGTERM);
+  sigaddset(&action.sa_mask, SIGINT);
   action.sa_flags = 0;  // no SA_RESTART: blocked read()/accept() see EINTR
   sigaction(SIGTERM, &action, nullptr);
   sigaction(SIGINT, &action, nullptr);
@@ -90,7 +103,7 @@ int main(int argc, char** argv) {
       return failure ? exit_code_for(*failure) : 0;
     }
 
-    g_server = &server;
+    g_server.store(&server, std::memory_order_release);
     install_signal_handlers();
 
     bool clean = true;
@@ -103,7 +116,11 @@ int main(int argc, char** argv) {
     } else {
       clean = server.serve_stream(std::cin, std::cout);
     }
-    g_server = nullptr;
+    // Cleared while the handlers stay installed: a late signal loads null
+    // (atomically) and just counts toward the hard kill.  `server` outlives
+    // this store, so a handler that loaded the pointer just before it still
+    // touches a live object.
+    g_server.store(nullptr, std::memory_order_release);
     if (server.drain_requested())
       std::cerr << (clean ? "ndetd: drained cleanly"
                           : "ndetd: drain timed out with work un-responded")

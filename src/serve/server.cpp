@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -444,13 +445,23 @@ void Server::stop_dispatchers() {
 // --- lifecycle --------------------------------------------------------------
 
 void Server::begin_drain() {
+  // Publish the budget exactly once (first caller wins) and BEFORE the
+  // state flip, so a token created the instant the state reads kDraining
+  // always sees a real deadline, and a repeated begin_drain (embedder
+  // drain followed by a signal) can never extend the deadline already
+  // armed onto in-flight work.
+  std::int64_t expected_ns = 0;
+  drain_deadline_ns_.compare_exchange_strong(
+      expected_ns,
+      to_ns(std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(options_.drain_ms)),
+      std::memory_order_acq_rel);
   ServerState expected = ServerState::kServing;
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::milliseconds(options_.drain_ms);
-  drain_deadline_ns_.store(to_ns(deadline), std::memory_order_release);
   if (!state_.compare_exchange_strong(expected, ServerState::kDraining,
                                       std::memory_order_acq_rel))
     return;  // already draining or stopped
+  const auto deadline =
+      from_ns(drain_deadline_ns_.load(std::memory_order_acquire));
   // Arm the drain budget onto work already in flight; requests admitted
   // before the drain but still queued get theirs at token creation.
   const std::lock_guard<std::mutex> lock(active_mutex_);
@@ -595,12 +606,28 @@ std::string Server::stats_json() const {
 
 // --- transports -------------------------------------------------------------
 
+namespace {
+
+/// Shared write state for the stream transport: responders hold it by
+/// shared_ptr, so they stay safe to invoke even after serve_stream has
+/// returned (the drain-timeout exit-1 path leaves queued lines whose
+/// Cancelled responses are delivered later, during ~Server).  `out` is
+/// nulled when serve_stream abandons the caller's stream.
+struct StreamSink {
+  explicit StreamSink(std::ostream& out_in) : out(&out_in) {}
+  std::mutex mutex;
+  std::ostream* out;  ///< guarded by mutex; null once abandoned
+};
+
+}  // namespace
+
 bool Server::serve_stream(std::istream& in, std::ostream& out) {
-  std::mutex out_mutex;
-  auto emit = [&out, &out_mutex](std::string&& response) {
-    const std::lock_guard<std::mutex> lock(out_mutex);
-    out << response << '\n';
-    out.flush();  // responses must reach the pipe before the next request
+  auto sink = std::make_shared<StreamSink>(out);
+  auto emit = [sink](std::string&& response) {
+    const std::lock_guard<std::mutex> lock(sink->mutex);
+    if (sink->out == nullptr) return;  // stream abandoned after drain timeout
+    *sink->out << response << '\n';
+    sink->out->flush();  // responses must reach the pipe before the next request
   };
 
   std::string line;
@@ -625,7 +652,15 @@ bool Server::serve_stream(std::istream& in, std::ostream& out) {
     begin_drain();
     // The drain budget bounds in-flight work; cancellation latency is one
     // fork-join body, so a short grace period after the budget suffices.
-    return wait_drained(options_.drain_ms + 10000);
+    const bool clean = wait_drained(options_.drain_ms + 10000);
+    if (!clean) {
+      // Work is still owed (the exit-1 path): the caller's stream must not
+      // be touched once we return, so detach it -- the straggling
+      // responders become no-ops that still settle the pending count.
+      const std::lock_guard<std::mutex> lock(sink->mutex);
+      sink->out = nullptr;
+    }
+    return clean;
   }
   // Plain EOF: no deadline is forced on in-flight work; wait for every
   // admitted line's response, then stop.
@@ -636,9 +671,13 @@ namespace {
 
 /// Per-connection write state: dispatcher threads respond through this,
 /// the handler thread waits for `outstanding` to hit zero before closing.
+/// Everything except the handler thread's own reads of `fd` is guarded by
+/// `mutex` -- in particular close/reset and the drain path's shutdown()
+/// take it, so no thread can shutdown() a just-closed (possibly reused)
+/// descriptor.
 struct TcpConn {
   explicit TcpConn(int fd_in) : fd(fd_in) {}
-  int fd;
+  int fd;  ///< guarded by mutex; -1 once closed (handler thread writes)
   std::mutex mutex;
   std::condition_variable all_done;
   int outstanding = 0;
@@ -648,12 +687,18 @@ struct TcpConn {
 void write_line(const std::shared_ptr<TcpConn>& conn,
                 const std::string& response) {
   const std::lock_guard<std::mutex> lock(conn->mutex);
-  if (conn->write_failed) return;
+  if (conn->write_failed || conn->fd < 0) return;
   const std::string payload = response + "\n";
   std::size_t written = 0;
   while (written < payload.size()) {
+    // The socket carries SO_SNDTIMEO (set at accept), so a client that
+    // stops reading stalls this dispatcher for at most the send budget
+    // instead of head-of-line-blocking every connection forever; a
+    // timed-out (or otherwise failed) write marks the connection dead so
+    // the remaining responders complete immediately.
     const ssize_t n = ::write(conn->fd, payload.data() + written,
                               payload.size() - written);
+    if (n < 0 && errno == EINTR) continue;  // drain signal mid-write
     if (n <= 0) {
       conn->write_failed = true;
       return;
@@ -716,6 +761,17 @@ bool Server::serve_tcp(int port, const std::function<void(int)>& ready) {
     });
     if (dropped) continue;
 
+    // Bound every send by the drain budget: without this, one client that
+    // stops reading wedges a dispatcher in ::write and the drain join
+    // never terminates.  write_line treats a timed-out send as a dead
+    // connection.
+    timeval send_timeout{};
+    const std::uint64_t send_ms = std::max<std::uint64_t>(1, options_.drain_ms);
+    send_timeout.tv_sec = static_cast<time_t>(send_ms / 1000);
+    send_timeout.tv_usec = static_cast<suseconds_t>((send_ms % 1000) * 1000);
+    ::setsockopt(client, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
+                 sizeof send_timeout);
+
     // The connection cap: excess clients get one typed shed line, never a
     // silent RST, and the handler-thread population stays bounded.
     const unsigned active =
@@ -769,9 +825,9 @@ bool Server::serve_tcp(int port, const std::function<void(int)>& ready) {
       {
         std::unique_lock<std::mutex> lock(conn->mutex);
         conn->all_done.wait(lock, [&] { return conn->outstanding == 0; });
+        ::close(conn->fd);
+        conn->fd = -1;
       }
-      ::close(conn->fd);
-      conn->fd = -1;
       active_connections_.fetch_sub(1, std::memory_order_acq_rel);
     });
   }
@@ -783,8 +839,12 @@ bool Server::serve_tcp(int port, const std::function<void(int)>& ready) {
     // until each connection's in-flight responses are delivered.
     {
       const std::lock_guard<std::mutex> lock(conns_mutex);
-      for (const std::shared_ptr<TcpConn>& conn : conns)
+      for (const std::shared_ptr<TcpConn>& conn : conns) {
+        // conn->mutex serializes against the handler's close/reset, so the
+        // shutdown can never hit a recycled descriptor.
+        const std::lock_guard<std::mutex> fd_lock(conn->mutex);
         if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RD);
+      }
     }
     clean = wait_drained(options_.drain_ms + 10000);
   }
